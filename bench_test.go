@@ -1,0 +1,183 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper, plus the ablation benches listed in DESIGN.md.
+//
+// Benchmarks run the experiments in the reduced Fast configuration so a
+// full `go test -bench=. -benchmem` completes in minutes; run
+// `cmd/experiments` without -fast for full-fidelity numbers. Each
+// benchmark reports the headline metric of its experiment as a custom
+// metric so regressions in *accuracy*, not just speed, are visible.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// BenchmarkFig1Characterization regenerates Fig. 1 (container utilization
+// dynamics).
+func BenchmarkFig1Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(experiments.Fast(uint64(i)))
+		if len(r.CPU) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkFig2Boxplot regenerates Fig. 2 (fleet CPU boxplots per 6 h).
+func BenchmarkFig2Boxplot(b *testing.B) {
+	var q3 float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(experiments.Fast(uint64(i)))
+		q3 = r.Boxes[0].Q3
+	}
+	b.ReportMetric(q3, "q3_window0")
+}
+
+// BenchmarkFig3LowUtil regenerates Fig. 3 (% machines under 50% CPU).
+func BenchmarkFig3LowUtil(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = experiments.RunFig3(experiments.Fast(uint64(i))).OverallAverage
+	}
+	b.ReportMetric(frac*100, "pct_under_50")
+}
+
+// BenchmarkFig7Correlation regenerates Fig. 7 (indicator PCC heatmap).
+func BenchmarkFig7Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig7(experiments.Fast(uint64(i)))
+		if len(r.TopFour) != 4 {
+			b.Fatal("screening failed")
+		}
+	}
+}
+
+// benchTableIICell trains and scores one Table II cell.
+func benchTableIICell(b *testing.B, sc core.Scenario, model experiments.ModelName, kind trace.EntityKind) {
+	b.Helper()
+	var mse float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTableIICell(experiments.Fast(1), sc, model, kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mse = res.MSE
+	}
+	b.ReportMetric(mse*100, "mse_x100")
+}
+
+// BenchmarkTableII covers every cell of Table II: model × scenario ×
+// entity kind.
+func BenchmarkTableII(b *testing.B) {
+	for _, kind := range []trace.EntityKind{trace.Container, trace.Machine} {
+		for _, sc := range []core.Scenario{core.Uni, core.Mul, core.MulExp} {
+			for _, model := range experiments.TableIIModels(sc) {
+				name := kind.String() + "/" + sc.String() + "/" + string(model)
+				b.Run(name, func(b *testing.B) {
+					benchTableIICell(b, sc, model, kind)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Mutation regenerates Fig. 8 (mutation tracking, Mul-Exp).
+func BenchmarkFig8Mutation(b *testing.B) {
+	var post float64
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fast(8)
+		o.Samples = 1200
+		res, err := experiments.RunFig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		post = res.PostMutationMAE[experiments.ModelRPTCN]
+	}
+	b.ReportMetric(post*100, "rptcn_poststep_mae_x100")
+}
+
+// BenchmarkFig9Convergence regenerates Fig. 9 (training-loss curves on
+// containers).
+func BenchmarkFig9Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(experiments.Fast(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Curves[experiments.ModelRPTCN]) == 0 {
+			b.Fatal("no curve")
+		}
+	}
+}
+
+// BenchmarkFig10ValidLoss regenerates Fig. 10 (validation-loss curves on
+// machines).
+func BenchmarkFig10ValidLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig10(experiments.Fast(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Curves[experiments.ModelRPTCN]) == 0 {
+			b.Fatal("no curve")
+		}
+	}
+}
+
+// benchAblation runs one ablation study and reports its first variant's MSE.
+func benchAblation(b *testing.B, run func(experiments.Options) (*experiments.AblationResult, error)) {
+	b.Helper()
+	var mse float64
+	for i := 0; i < b.N; i++ {
+		res, err := run(experiments.Fast(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mse = res.Results[res.Order[0]].MSE
+	}
+	b.ReportMetric(mse*100, "mse_x100")
+}
+
+// BenchmarkAblationHeads ablates the FC layer and attention head.
+func BenchmarkAblationHeads(b *testing.B) { benchAblation(b, experiments.RunAblationHeads) }
+
+// BenchmarkAblationExpansion compares Fig. 4a vs 4b feature expansion.
+func BenchmarkAblationExpansion(b *testing.B) { benchAblation(b, experiments.RunAblationExpansion) }
+
+// BenchmarkAblationDilations sweeps the dilation schedule.
+func BenchmarkAblationDilations(b *testing.B) { benchAblation(b, experiments.RunAblationDilations) }
+
+// BenchmarkAblationWeightNorm toggles weight normalization.
+func BenchmarkAblationWeightNorm(b *testing.B) { benchAblation(b, experiments.RunAblationWeightNorm) }
+
+// BenchmarkAblationScreening compares PCC screening policies.
+func BenchmarkAblationScreening(b *testing.B) { benchAblation(b, experiments.RunAblationScreening) }
+
+// BenchmarkAblationFutureWork evaluates the paper's future-work expansion
+// strategies (first-difference channels, correlation-weighted factors).
+func BenchmarkAblationFutureWork(b *testing.B) { benchAblation(b, experiments.RunAblationFutureWork) }
+
+// BenchmarkNaiveComparison pits RPTCN against the classical reference
+// forecasters (persistence, drift, moving average, EWMA, Holt, ARIMA).
+func BenchmarkNaiveComparison(b *testing.B) {
+	var mse float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunNaiveComparison(experiments.Fast(14), trace.Container)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mse = res.Results["RPTCN"].MSE
+	}
+	b.ReportMetric(mse*100, "rptcn_mse_x100")
+}
+
+// BenchmarkHorizonSweep measures long-term (k-step) prediction.
+func BenchmarkHorizonSweep(b *testing.B) {
+	benchAblation(b, func(o experiments.Options) (*experiments.AblationResult, error) {
+		return experiments.RunHorizonSweep(o, []int{1, 4})
+	})
+}

@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic trace substrate and prints paper-style rows (plus optional
+// CSV).
+//
+// Usage:
+//
+//	experiments -all                 # everything (slow)
+//	experiments -table 2             # Table II only
+//	experiments -fig 8               # one figure
+//	experiments -ablations           # the DESIGN.md ablations
+//	experiments -fast                # reduced sizes for a quick look
+//	experiments -seed 7 -samples 4000 -epochs 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		table     = flag.Int("table", 0, "run one table (1 or 2)")
+		fig       = flag.Int("fig", 0, "run one figure (1,2,3,7,8,9,10)")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		general   = flag.Bool("generalization", false, "run the cross-entity generalization study")
+		timing    = flag.Bool("timing", false, "run the TCN-parameter timing study")
+		naiveCmp  = flag.Bool("naive", false, "compare RPTCN against classical reference forecasters")
+		fast      = flag.Bool("fast", false, "reduced sizes (seconds instead of minutes)")
+		csv       = flag.Bool("csv", false, "also print machine-readable CSV where available")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		samples   = flag.Int("samples", 0, "series length override")
+		epochs    = flag.Int("epochs", 0, "training epochs override")
+		entities  = flag.Int("entities", 0, "fleet size override")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed}
+	if *fast {
+		opts = experiments.Fast(*seed)
+	}
+	if *samples > 0 {
+		opts.Samples = *samples
+	}
+	if *epochs > 0 {
+		opts.Epochs = *epochs
+	}
+	if *entities > 0 {
+		opts.Entities = *entities
+	}
+
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*general && !*timing && !*naiveCmp {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		fmt.Println(experiments.TableI())
+	}
+	if *all || *fig == 1 {
+		fmt.Println(experiments.RunFig1(opts).Format())
+	}
+	if *all || *fig == 2 {
+		fmt.Println(experiments.RunFig2(opts).Format())
+	}
+	if *all || *fig == 3 {
+		fmt.Println(experiments.RunFig3(opts).Format())
+	}
+	if *all || *fig == 7 {
+		fmt.Println(experiments.RunFig7(opts).Format())
+	}
+	if *all || *table == 2 {
+		res, err := experiments.RunTableII(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+		if *csv {
+			fmt.Println(res.CSV())
+		}
+	}
+	if *all || *fig == 8 {
+		res, err := experiments.RunFig8(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *fig == 9 {
+		res, err := experiments.RunFig9(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *fig == 10 {
+		res, err := experiments.RunFig10(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *ablations {
+		for _, run := range []func(experiments.Options) (*experiments.AblationResult, error){
+			experiments.RunAblationHeads,
+			experiments.RunAblationExpansion,
+			experiments.RunAblationDilations,
+			experiments.RunAblationWeightNorm,
+			experiments.RunAblationScreening,
+			experiments.RunAblationFutureWork,
+		} {
+			res, err := run(opts)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Format())
+		}
+		res, err := experiments.RunHorizonSweep(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *general {
+		res, err := experiments.RunGeneralization(opts, 3)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *timing {
+		res, err := experiments.RunTimingStudy(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *naiveCmp {
+		for _, kind := range []trace.EntityKind{trace.Container, trace.Machine} {
+			res, err := experiments.RunNaiveComparison(opts, kind)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Format())
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package alloc evaluates resource-reservation policies against a demand
+// series — the paper's motivating use case (Sec. II): a resource manager
+// must reserve capacity ahead of demand, where over-reservation wastes
+// resources (the idle clusters of Figs. 2–3) and under-reservation
+// violates quality of service.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/naive"
+)
+
+// Outcome summarizes how a reservation trajectory served a demand series.
+type Outcome struct {
+	// AvgReservation is the mean reserved capacity per step.
+	AvgReservation float64
+	// AvgDemand is the mean demand per step.
+	AvgDemand float64
+	// WastePerStep is mean reserved-but-unused capacity (overprovision).
+	WastePerStep float64
+	// DeficitPerStep is mean unmet demand (underprovision).
+	DeficitPerStep float64
+	// Violations counts steps where demand exceeded the reservation.
+	Violations int
+	// SLOAttainment is the fraction of steps without a violation.
+	SLOAttainment float64
+	// Utilization is AvgDemand / AvgReservation (capped demand).
+	Utilization float64
+}
+
+// Evaluate scores a reservation trajectory against demand. Both series
+// must be non-empty and of equal length.
+func Evaluate(demand, reservation []float64) (Outcome, error) {
+	if len(demand) == 0 {
+		return Outcome{}, errors.New("alloc: empty demand")
+	}
+	if len(demand) != len(reservation) {
+		return Outcome{}, fmt.Errorf("alloc: demand %d vs reservation %d", len(demand), len(reservation))
+	}
+	var o Outcome
+	served := 0.0
+	for i, d := range demand {
+		r := reservation[i]
+		o.AvgDemand += d
+		o.AvgReservation += r
+		if r >= d {
+			o.WastePerStep += r - d
+			served += d
+		} else {
+			o.Violations++
+			o.DeficitPerStep += d - r
+			served += r
+		}
+	}
+	n := float64(len(demand))
+	o.AvgDemand /= n
+	o.AvgReservation /= n
+	o.WastePerStep /= n
+	o.DeficitPerStep /= n
+	o.SLOAttainment = 1 - float64(o.Violations)/n
+	if o.AvgReservation > 0 {
+		o.Utilization = (served / n) / o.AvgReservation
+	}
+	return o, nil
+}
+
+// Static returns a constant reservation trajectory of n steps at level.
+func Static(level float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = level
+	}
+	return out
+}
+
+// Reactive reserves the previously observed demand plus headroom (the
+// "scale on what you last saw" policy). The first step reserves
+// initial+headroom.
+func Reactive(demand []float64, headroom, initial float64) []float64 {
+	out := make([]float64, len(demand))
+	for i := range out {
+		prev := initial
+		if i > 0 {
+			prev = demand[i-1]
+		}
+		out[i] = prev + headroom
+	}
+	return out
+}
+
+// FromForecasts turns per-step forecasts into reservations with headroom.
+func FromForecasts(forecasts []float64, headroom float64) []float64 {
+	out := make([]float64, len(forecasts))
+	for i, f := range forecasts {
+		out[i] = f + headroom
+	}
+	return out
+}
+
+// FromForecaster rolls a naive.Forecaster over the demand series: at each
+// step it reserves the forecaster's one-step prediction plus headroom,
+// then reveals the true demand.
+func FromForecaster(f naive.Forecaster, demand []float64, headroom float64) []float64 {
+	preds := naive.RollingForecast(f, demand)
+	return FromForecasts(preds, headroom)
+}
+
+// Compare evaluates several named reservation trajectories against the
+// same demand, preserving input order.
+type NamedReservation struct {
+	Name        string
+	Reservation []float64
+}
+
+// ComparisonRow pairs a policy name with its outcome.
+type ComparisonRow struct {
+	Name string
+	Outcome
+}
+
+// Compare scores each reservation against demand.
+func Compare(demand []float64, policies []NamedReservation) ([]ComparisonRow, error) {
+	out := make([]ComparisonRow, 0, len(policies))
+	for _, p := range policies {
+		o, err := Evaluate(demand, p.Reservation)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: policy %q: %w", p.Name, err)
+		}
+		out = append(out, ComparisonRow{Name: p.Name, Outcome: o})
+	}
+	return out, nil
+}

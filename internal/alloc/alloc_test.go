@@ -1,0 +1,149 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/naive"
+)
+
+func TestEvaluateExactReservation(t *testing.T) {
+	demand := []float64{10, 20, 30}
+	o, err := Evaluate(demand, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.WastePerStep != 0 || o.DeficitPerStep != 0 || o.Violations != 0 {
+		t.Fatalf("exact reservation outcome = %+v", o)
+	}
+	if o.SLOAttainment != 1 || math.Abs(o.Utilization-1) > 1e-12 {
+		t.Fatalf("SLO/utilization = %+v", o)
+	}
+}
+
+func TestEvaluateOverAndUnder(t *testing.T) {
+	demand := []float64{10, 10}
+	res := []float64{15, 5}
+	o, err := Evaluate(demand, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.WastePerStep != 2.5 { // (5+0)/2
+		t.Fatalf("waste = %g", o.WastePerStep)
+	}
+	if o.DeficitPerStep != 2.5 { // (0+5)/2
+		t.Fatalf("deficit = %g", o.DeficitPerStep)
+	}
+	if o.Violations != 1 || o.SLOAttainment != 0.5 {
+		t.Fatalf("violations = %+v", o)
+	}
+	// Served = 10 + 5 = 15; avg served 7.5; avg reservation 10.
+	if math.Abs(o.Utilization-0.75) > 1e-12 {
+		t.Fatalf("utilization = %g", o.Utilization)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Fatal("expected error for empty demand")
+	}
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static(42, 3)
+	if len(s) != 3 || s[0] != 42 || s[2] != 42 {
+		t.Fatalf("Static = %v", s)
+	}
+}
+
+func TestReactiveLagsByOne(t *testing.T) {
+	demand := []float64{10, 20, 30}
+	r := Reactive(demand, 5, 8)
+	want := []float64{13, 15, 25}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Reactive = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestFromForecastsAddsHeadroom(t *testing.T) {
+	f := FromForecasts([]float64{1, 2}, 10)
+	if f[0] != 11 || f[1] != 12 {
+		t.Fatalf("FromForecasts = %v", f)
+	}
+}
+
+func TestFromForecasterMatchesManualRolling(t *testing.T) {
+	demand := []float64{5, 6, 7, 8}
+	p := &naive.Persistence{}
+	if err := p.Fit([]float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	got := FromForecaster(p, demand, 1)
+	// Persistence predicts 4,5,6,7 → +1 headroom.
+	want := []float64{5, 6, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FromForecaster = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompareOrderAndErrors(t *testing.T) {
+	demand := []float64{10, 10}
+	rows, err := Compare(demand, []NamedReservation{
+		{Name: "a", Reservation: []float64{20, 20}},
+		{Name: "b", Reservation: []float64{10, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "a" || rows[1].Name != "b" {
+		t.Fatalf("Compare rows = %+v", rows)
+	}
+	if rows[0].WastePerStep != 10 || rows[1].WastePerStep != 0 {
+		t.Fatalf("waste rows = %+v", rows)
+	}
+	if _, err := Compare(demand, []NamedReservation{{Name: "bad", Reservation: []float64{1}}}); err == nil {
+		t.Fatal("expected error for bad policy length")
+	}
+}
+
+// Property: a perfect forecaster with positive headroom never violates and
+// wastes exactly the headroom.
+func TestPerfectForecastWithHeadroom(t *testing.T) {
+	demand := []float64{3, 1, 4, 1, 5}
+	res := FromForecasts(demand, 2)
+	o, err := Evaluate(demand, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violations != 0 || math.Abs(o.WastePerStep-2) > 1e-12 {
+		t.Fatalf("perfect forecast outcome = %+v", o)
+	}
+}
+
+// Higher static reservations trade waste for SLO monotonically.
+func TestStaticLevelMonotonicity(t *testing.T) {
+	demand := []float64{10, 40, 25, 60, 15}
+	prevWaste := -1.0
+	prevViol := len(demand) + 1
+	for _, level := range []float64{20, 40, 60, 80} {
+		o, err := Evaluate(demand, Static(level, len(demand)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.WastePerStep < prevWaste {
+			t.Fatal("waste must not decrease with higher reservations")
+		}
+		if o.Violations > prevViol {
+			t.Fatal("violations must not increase with higher reservations")
+		}
+		prevWaste = o.WastePerStep
+		prevViol = o.Violations
+	}
+}

@@ -1,0 +1,206 @@
+package arima
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// xorshift noise for reproducible synthetic series.
+type rng struct{ s uint64 }
+
+func (r *rng) norm() float64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	u1 := float64((r.s*0x2545f4914f6cdd1d)>>11)/(1<<53) + 1e-12
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	u2 := float64((r.s*0x2545f4914f6cdd1d)>>11) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func genAR1(n int, phi, c, sigma float64, seed uint64) []float64 {
+	r := &rng{s: seed}
+	xs := make([]float64, n)
+	for t := 1; t < n; t++ {
+		xs[t] = c + phi*xs[t-1] + sigma*r.norm()
+	}
+	return xs
+}
+
+func TestFitRecoversAR1Coefficient(t *testing.T) {
+	xs := genAR1(4000, 0.7, 0, 1, 1)
+	m, err := Fit(xs, Config{P: 1, D: 0, Q: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AR[0]-0.7) > 0.05 {
+		t.Fatalf("AR coefficient = %g, want ≈ 0.7", m.AR[0])
+	}
+}
+
+func TestFitRecoversMA1Coefficient(t *testing.T) {
+	// x_t = e_t + 0.5 e_{t-1}
+	r := &rng{s: 2}
+	n := 4000
+	e := make([]float64, n)
+	xs := make([]float64, n)
+	for t := 0; t < n; t++ {
+		e[t] = r.norm()
+		xs[t] = e[t]
+		if t > 0 {
+			xs[t] += 0.5 * e[t-1]
+		}
+	}
+	m, err := Fit(xs, Config{P: 0, D: 0, Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MA[0]-0.5) > 0.08 {
+		t.Fatalf("MA coefficient = %g, want ≈ 0.5", m.MA[0])
+	}
+}
+
+func TestFitRejectsBadConfig(t *testing.T) {
+	xs := genAR1(100, 0.5, 0, 1, 3)
+	if _, err := Fit(xs, Config{P: 0, D: 0, Q: 0}); err == nil {
+		t.Fatal("expected error for p=q=0")
+	}
+	if _, err := Fit(xs, Config{P: -1, D: 0, Q: 0}); err == nil {
+		t.Fatal("expected error for negative order")
+	}
+	if _, err := Fit(xs[:5], Config{P: 3, D: 0, Q: 3}); err == nil {
+		t.Fatal("expected error for short series")
+	}
+}
+
+func TestForecastConvergesToUnconditionalMean(t *testing.T) {
+	// AR(1) with intercept c has mean c/(1−φ); long-horizon forecasts must
+	// approach it.
+	xs := genAR1(3000, 0.6, 1.0, 0.5, 4) // mean = 2.5
+	m, err := Fit(xs, Config{P: 1, D: 0, Q: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Forecast(200)
+	if math.Abs(f[199]-2.5) > 0.3 {
+		t.Fatalf("long-horizon forecast = %g, want ≈ 2.5", f[199])
+	}
+}
+
+func TestForecastLengthAndNonNegativeHorizon(t *testing.T) {
+	xs := genAR1(300, 0.5, 0, 1, 5)
+	m, _ := Fit(xs, Config{P: 1, D: 0, Q: 0})
+	if got := m.Forecast(7); len(got) != 7 {
+		t.Fatalf("Forecast length = %d", len(got))
+	}
+	if m.Forecast(0) != nil || m.Forecast(-1) != nil {
+		t.Fatal("non-positive horizon must return nil")
+	}
+}
+
+func TestDifferencingHandlesLinearTrend(t *testing.T) {
+	// A deterministic trend plus AR noise: d=1 should track the trend.
+	r := &rng{s: 6}
+	n := 1000
+	xs := make([]float64, n)
+	for t := 0; t < n; t++ {
+		xs[t] = 0.05*float64(t) + 0.3*r.norm()
+	}
+	m, err := Fit(xs, Config{P: 1, D: 1, Q: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Forecast(10)
+	// Ten steps ahead should be ≈ 0.05·(n+9).
+	want := 0.05 * float64(n+9)
+	if math.Abs(f[9]-want) > 1.0 {
+		t.Fatalf("trend forecast = %g, want ≈ %g", f[9], want)
+	}
+}
+
+func TestRollingForecastBeatsMeanOnAR(t *testing.T) {
+	xs := genAR1(2000, 0.85, 0, 1, 7)
+	trainN := 1600
+	m, err := Fit(xs[:trainN], Config{P: 2, D: 0, Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.RollingForecast(xs[trainN:])
+	mseModel := metrics.MSE(xs[trainN:], preds)
+	meanPred := make([]float64, len(xs)-trainN)
+	mseMean := metrics.MSE(xs[trainN:], meanPred) // mean of the process is 0
+	if mseModel >= mseMean {
+		t.Fatalf("ARIMA rolling MSE %g not better than mean baseline %g", mseModel, mseMean)
+	}
+	// Theoretical one-step MSE is σ²=1; allow generous slack.
+	if mseModel > 1.4 {
+		t.Fatalf("rolling MSE %g too large for AR(1) with σ=1", mseModel)
+	}
+}
+
+func TestOneStepThenUpdateConsistency(t *testing.T) {
+	xs := genAR1(500, 0.5, 0, 1, 8)
+	m, _ := Fit(xs[:400], Config{P: 1, D: 0, Q: 1})
+	p1 := m.OneStep()
+	p2 := m.OneStep() // repeated call without Update must not advance state
+	if p1 != p2 {
+		t.Fatal("OneStep must be idempotent until Update")
+	}
+	m.Update(xs[400])
+	p3 := m.OneStep()
+	if p3 == p1 && xs[400] != p1 {
+		t.Fatal("Update did not advance the model state")
+	}
+}
+
+func TestUpdateWithoutOneStepIsSafe(t *testing.T) {
+	xs := genAR1(500, 0.5, 0, 1, 9)
+	m, _ := Fit(xs[:400], Config{P: 1, D: 0, Q: 0})
+	m.Update(xs[400]) // must implicitly compute the prediction
+	f := m.Forecast(1)
+	if math.IsNaN(f[0]) {
+		t.Fatal("NaN after Update without OneStep")
+	}
+}
+
+func TestRollingForecastWithDifferencing(t *testing.T) {
+	// Random walk with drift: ARIMA(0,1,1)/(1,1,0) style models should
+	// produce finite, tracking forecasts.
+	r := &rng{s: 10}
+	n := 1200
+	xs := make([]float64, n)
+	for t := 1; t < n; t++ {
+		xs[t] = xs[t-1] + 0.1 + 0.5*r.norm()
+	}
+	m, err := Fit(xs[:1000], Config{P: 1, D: 1, Q: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.RollingForecast(xs[1000:])
+	mae := metrics.MAE(xs[1000:], preds)
+	if math.IsNaN(mae) || mae > 1.5 {
+		t.Fatalf("rolling MAE on random walk = %g", mae)
+	}
+}
+
+func TestSelectOrderPrefersTrueAR(t *testing.T) {
+	xs := genAR1(3000, 0.8, 0, 1, 11)
+	cfg := SelectOrder(xs, 0, 3, 1)
+	if cfg.P < 1 {
+		t.Fatalf("SelectOrder chose %+v, want p >= 1", cfg)
+	}
+	// Over-ordering is possible but the selected model must fit better than
+	// white noise: check via a quick rolling evaluation.
+	m, err := Fit(xs[:2500], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.RollingForecast(xs[2500:])
+	if metrics.MSE(xs[2500:], preds) > 1.5 {
+		t.Fatalf("selected order %+v fits poorly", cfg)
+	}
+}

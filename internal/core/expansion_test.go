@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestExpansionModeString(t *testing.T) {
+	if ExpandLags.String() != "lags" || ExpandLagsDiff.String() != "lags+diff" || ExpandWeighted.String() != "weighted" {
+		t.Fatal("expansion mode names wrong")
+	}
+	if ExpansionMode(9).String() != "unknown" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func fitWithMode(t *testing.T, mode ExpansionMode) *Predictor {
+	t.Helper()
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 800, Seed: 31,
+	})[0]
+	p := NewPredictor(PredictorConfig{
+		Scenario: MulExp, Expansion: mode,
+		Window: 16, Horizon: 1, Epochs: 4, Seed: 1,
+		Model: Config{Channels: []int{8, 8}, KernelSize: 3, WeightNorm: true, FCWidth: 16},
+	})
+	if err := p.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExpandLagsDiffChannelCount(t *testing.T) {
+	p := fitWithMode(t, ExpandLagsDiff)
+	// 4 screened indicators × (3 lags + 1 diff) = 16 channels.
+	if got := p.Model().Cfg.InChannels; got != 16 {
+		t.Fatalf("lags+diff channels = %d, want 16", got)
+	}
+	rep, err := p.TestMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.MSE) || rep.MSE <= 0 {
+		t.Fatalf("MSE = %g", rep.MSE)
+	}
+}
+
+func TestExpandWeightedChannelCountAndServing(t *testing.T) {
+	p := fitWithMode(t, ExpandWeighted)
+	ch := p.Model().Cfg.InChannels
+	// Between 4 (all weak) and 12 (all strong); the generator's coupled
+	// indicators guarantee more than the minimum.
+	if ch < 5 || ch > 12 {
+		t.Fatalf("weighted channels = %d, want in (4, 12]", ch)
+	}
+	// Serving must replay the SAME factors: ForecastFrom on a fresh window
+	// must not error with a channel mismatch.
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 100, Seed: 32,
+	})[0]
+	f, err := p.ForecastFrom(e.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 || math.IsNaN(f[0]) {
+		t.Fatalf("forecast = %v", f)
+	}
+}
+
+func TestRefitResetsWeightedFactors(t *testing.T) {
+	p := fitWithMode(t, ExpandWeighted)
+	first := p.Model().Cfg.InChannels
+	// Refit on a different entity; factors must be recomputed, not reused.
+	e2 := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Machine, Samples: 800, Seed: 33,
+	})[0]
+	if err := p.Fit(e2.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	second := p.Model().Cfg.InChannels
+	if second < 4 {
+		t.Fatalf("refit channels = %d", second)
+	}
+	_ = first // counts may or may not differ; the point is no panic/mismatch
+	if _, err := p.TestMetrics(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForecastFromMatchesTailForecast(t *testing.T) {
+	// ForecastFrom on the exact training series must agree with Forecast().
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 800, Seed: 34,
+	})[0]
+	p := NewPredictor(PredictorConfig{
+		Scenario: MulExp, Window: 16, Horizon: 2, Epochs: 3, Seed: 2,
+		Model: Config{Channels: []int{8}, KernelSize: 3, WeightNorm: true, FCWidth: 8},
+	})
+	if err := p.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ForecastFrom(e.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("Forecast %v != ForecastFrom %v", a, b)
+		}
+	}
+}
+
+func TestForecastFromErrors(t *testing.T) {
+	p := fitWithMode(t, ExpandLags)
+	if _, err := p.ForecastFrom([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("expected error for wrong indicator count")
+	}
+	short := make([][]float64, trace.NumIndicators)
+	for i := range short {
+		short[i] = []float64{1, 2, 3}
+	}
+	if _, err := p.ForecastFrom(short); err == nil {
+		t.Fatal("expected error for too-short history")
+	}
+	nan := make([][]float64, trace.NumIndicators)
+	for i := range nan {
+		nan[i] = []float64{math.NaN(), math.NaN()}
+	}
+	if _, err := p.ForecastFrom(nan); err == nil {
+		t.Fatal("expected error for all-NaN history")
+	}
+	unfitted := NewPredictor(PredictorConfig{})
+	if _, err := unfitted.ForecastFrom(nan); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func fleetEntities(n, samples int, seed uint64) [][][]float64 {
+	es := trace.Generate(trace.GeneratorConfig{
+		Entities: n, Kind: trace.Container, Samples: samples, Seed: seed,
+	})
+	out := make([][][]float64, n)
+	for i, e := range es {
+		out[i] = e.Matrix()
+	}
+	return out
+}
+
+func TestFitFleetPoolsEntities(t *testing.T) {
+	ents := fleetEntities(3, 600, 61)
+	p := NewPredictor(PredictorConfig{
+		Scenario: MulExp, Window: 16, Horizon: 1, Epochs: 5, Seed: 1,
+		Model: Config{Channels: []int{8, 8}, KernelSize: 3, WeightNorm: true, FCWidth: 16},
+	})
+	if err := p.FitFleet(ents, int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.TestMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.MSE) || rep.MSE <= 0 {
+		t.Fatalf("fleet MSE = %g", rep.MSE)
+	}
+	// Pooled test set must cover all three entities' test windows: at
+	// least 3× a single entity's test size minus slack.
+	truth, _, err := p.TestSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) < 250 {
+		t.Fatalf("pooled test windows = %d, want ~3 entities' worth", len(truth))
+	}
+	if rep.MSE >= stats.Variance(truth) {
+		t.Fatalf("fleet model no better than mean: %g vs %g", rep.MSE, stats.Variance(truth))
+	}
+}
+
+func TestFitFleetServesAnyEntity(t *testing.T) {
+	ents := fleetEntities(2, 600, 62)
+	p := NewPredictor(PredictorConfig{
+		Scenario: MulExp, Window: 16, Horizon: 2, Epochs: 3, Seed: 2,
+		Model: Config{Channels: []int{8}, KernelSize: 3, WeightNorm: true, FCWidth: 8},
+	})
+	if err := p.FitFleet(ents, int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh, unseen entity must be servable.
+	fresh := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 120, Seed: 63,
+	})[0]
+	f, err := p.ForecastFrom(fresh.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 2 {
+		t.Fatalf("forecast = %v", f)
+	}
+	// Forecast() must also work (uses the last entity's tail).
+	if _, err := p.Forecast(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitFleetValidation(t *testing.T) {
+	p := NewPredictor(PredictorConfig{Window: 16, Epochs: 1})
+	if err := p.FitFleet(nil, 0); err == nil {
+		t.Fatal("expected error for no entities")
+	}
+	ents := fleetEntities(2, 600, 64)
+	if err := p.FitFleet(ents, 99); err == nil {
+		t.Fatal("expected error for bad target")
+	}
+	ragged := [][][]float64{ents[0], {{1, 2, 3}}}
+	if err := p.FitFleet(ragged, 0); err == nil {
+		t.Fatal("expected error for mismatched indicator counts")
+	}
+	tiny := [][][]float64{{{1, 2}, {3, 4}}}
+	p2 := NewPredictor(PredictorConfig{Window: 16, Epochs: 1})
+	if err := p2.FitFleet(tiny, 0); err == nil {
+		t.Fatal("expected error for too-short entity")
+	}
+}
+
+func TestFitFleetSingleEntityMatchesFitShape(t *testing.T) {
+	ents := fleetEntities(1, 600, 65)
+	pf := NewPredictor(PredictorConfig{
+		Scenario: Mul, Window: 16, Horizon: 1, Epochs: 2, Seed: 3,
+		Model: Config{Channels: []int{8}, KernelSize: 3, FCWidth: 8},
+	})
+	if err := pf.FitFleet(ents, int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	ps := NewPredictor(PredictorConfig{
+		Scenario: Mul, Window: 16, Horizon: 1, Epochs: 2, Seed: 3,
+		Model: Config{Channels: []int{8}, KernelSize: 3, FCWidth: 8},
+	})
+	if err := ps.Fit(ents[0], int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	// Same data through both paths: identical screening and channel count.
+	if len(pf.SelectedIndicators()) != len(ps.SelectedIndicators()) {
+		t.Fatal("fleet screening differs from single-entity screening")
+	}
+	if pf.Model().Cfg.InChannels != ps.Model().Cfg.InChannels {
+		t.Fatal("fleet channels differ from single-entity channels")
+	}
+}

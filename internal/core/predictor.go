@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataprep"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Scenario selects the input-feature regime of Table II.
+type Scenario int
+
+// The three experimental scenarios of the paper.
+const (
+	// Uni feeds only the target indicator's own history.
+	Uni Scenario = iota
+	// Mul feeds the top half of all indicators by |PCC| with the target.
+	Mul
+	// MulExp is Mul plus horizontal expansion in the time dimension
+	// (Fig. 4b) — the paper's full method.
+	MulExp
+)
+
+// String returns the scenario name as used in Table II.
+func (s Scenario) String() string {
+	switch s {
+	case Uni:
+		return "Uni"
+	case Mul:
+		return "Mul"
+	case MulExp:
+		return "Mul-Exp"
+	}
+	return "unknown"
+}
+
+// ExpansionMode selects how Mul-Exp expands features in the time
+// dimension.
+type ExpansionMode int
+
+// The expansion modes. ExpandLags is the paper's published method
+// (Fig. 4b); the other two implement the improvements its discussion
+// (Sec. V-C) leaves as future work.
+const (
+	// ExpandLags replicates each indicator into lagged copies (Fig. 4b).
+	ExpandLags ExpansionMode = iota
+	// ExpandLagsDiff additionally appends a first-order difference channel
+	// per indicator.
+	ExpandLagsDiff
+	// ExpandWeighted gives each indicator an expansion factor proportional
+	// to its |PCC| with the target.
+	ExpandWeighted
+)
+
+// String returns the mode name.
+func (m ExpansionMode) String() string {
+	switch m {
+	case ExpandLags:
+		return "lags"
+	case ExpandLagsDiff:
+		return "lags+diff"
+	case ExpandWeighted:
+		return "weighted"
+	}
+	return "unknown"
+}
+
+// PredictorConfig configures the end-to-end Algorithm 1 pipeline.
+type PredictorConfig struct {
+	Scenario Scenario
+	// Expansion selects the Mul-Exp expansion strategy (default: the
+	// paper's Fig. 4b lagged copies). Ignored in Uni/Mul scenarios.
+	Expansion ExpansionMode
+	// Window is the input sequence length L (default 32).
+	Window int
+	// Horizon is the number of future steps k to predict (default 1).
+	Horizon int
+	// ExpandFactor is the horizontal expansion factor (default 3, the
+	// paper's Fig. 4b example: r_{t−2}, r_{t−1}, r_t).
+	ExpandFactor int
+
+	// Model configures the RPTCN network. InChannels and Horizon are
+	// filled in by the predictor.
+	Model Config
+
+	// Training hyperparameters. Defaults: 60 epochs, batch 32, Adam 1e-3,
+	// early-stopping patience 10 (the paper's Keras callback setting).
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Patience     int
+	Seed         uint64
+	// TrainFrac/ValidFrac default to the paper's 6:2:2 split.
+	TrainFrac, ValidFrac float64
+}
+
+func (c *PredictorConfig) fillDefaults() {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1
+	}
+	if c.ExpandFactor == 0 {
+		c.ExpandFactor = 3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.Patience == 0 {
+		c.Patience = 10
+	}
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.6
+	}
+	if c.ValidFrac == 0 {
+		c.ValidFrac = 0.2
+	}
+}
+
+// Predictor runs Algorithm 1 with an RPTCN model: data cleaning,
+// normalization, correlation screening, horizontal expansion, supervised
+// windowing, training with early stopping, and k-step forecasting.
+type Predictor struct {
+	Cfg PredictorConfig
+
+	model    *Model
+	norm     *dataprep.Normalizer
+	selected []int // screened indicator indices into the original series
+	target   int
+	history  *train.History
+	// weightedFactors caches the per-indicator expansion factors of the
+	// ExpandWeighted mode, fixed at fit time.
+	weightedFactors []int
+
+	// Held-out data retained for evaluation.
+	test      train.Dataset
+	prepared  [][]float64 // fully prepared channel series (post expansion)
+	targetRow int         // row of the target within prepared
+}
+
+// NewPredictor returns an unfitted predictor.
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	cfg.fillDefaults()
+	return &Predictor{Cfg: cfg}
+}
+
+// prepare runs the data pipeline of Algorithm 1 lines 1–5 and returns the
+// prepared channel matrix plus the row index of the target channel.
+func (p *Predictor) prepare(series [][]float64, target int) ([][]float64, int, error) {
+	if target < 0 || target >= len(series) {
+		return nil, 0, fmt.Errorf("core: target index %d out of range (have %d indicators)", target, len(series))
+	}
+	cleaned := dataprep.Clean(series)
+	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
+		return nil, 0, errors.New("core: no complete records after cleaning")
+	}
+	// The paper normalizes the full series before splitting (Algorithm 1
+	// line 2); we keep that order for fidelity.
+	p.norm = dataprep.FitNormalizer(cleaned)
+	normed := p.norm.Transform(cleaned)
+
+	switch p.Cfg.Scenario {
+	case Uni:
+		p.selected = []int{target}
+	default:
+		p.selected = dataprep.ScreenTopHalf(normed, target)
+	}
+	sel := dataprep.Select(normed, p.selected)
+	// ScreenTopHalf puts the target first, and every expansion mode emits
+	// the target's lag-0 copy as its first channel.
+	if p.Cfg.Scenario == MulExp {
+		sel = p.expand(sel)
+	}
+	return sel, 0, nil
+}
+
+// expand applies the configured Mul-Exp expansion to the screened,
+// normalized channels (target first). Weighted expansion factors are
+// computed once at fit time and replayed afterwards so the channel layout
+// stays fixed for serving.
+func (p *Predictor) expand(sel [][]float64) [][]float64 {
+	switch p.Cfg.Expansion {
+	case ExpandLagsDiff:
+		return dataprep.ExpandWithDifference(sel, p.Cfg.ExpandFactor)
+	case ExpandWeighted:
+		if p.weightedFactors == nil {
+			corr := dataprep.Correlations(sel, 0)
+			p.weightedFactors = dataprep.WeightedFactors(corr, p.Cfg.ExpandFactor)
+		}
+		return dataprep.ExpandWithFactors(sel, p.weightedFactors, p.Cfg.ExpandFactor)
+	default:
+		return dataprep.ExpandHorizontal(sel, p.Cfg.ExpandFactor)
+	}
+}
+
+// Fit runs the full pipeline on series ([indicator][time]) predicting the
+// indicator at index target.
+func (p *Predictor) Fit(series [][]float64, target int) error {
+	p.target = target
+	p.weightedFactors = nil // recomputed per fit
+	prepared, targetRow, err := p.prepare(series, target)
+	if err != nil {
+		return err
+	}
+	p.prepared = prepared
+	p.targetRow = targetRow
+
+	ds, err := dataprep.BuildSupervised(prepared, dataprep.WindowConfig{
+		Window:  p.Cfg.Window,
+		Horizon: p.Cfg.Horizon,
+		Target:  targetRow,
+	})
+	if err != nil {
+		return err
+	}
+	tr, va, te, err := train.Split(ds, p.Cfg.TrainFrac, p.Cfg.ValidFrac)
+	if err != nil {
+		return err
+	}
+	p.test = te
+
+	mcfg := p.Cfg.Model
+	mcfg.InChannels = len(prepared)
+	mcfg.Horizon = p.Cfg.Horizon
+	r := tensor.NewRNG(p.Cfg.Seed)
+	p.model = NewModel(r, mcfg)
+
+	p.history = train.Fit(p.model, tr, va, train.Config{
+		Epochs:      p.Cfg.Epochs,
+		BatchSize:   p.Cfg.BatchSize,
+		Optimizer:   opt.NewAdam(p.Cfg.LearningRate),
+		Loss:        &nn.MSELoss{},
+		Patience:    p.Cfg.Patience,
+		Shuffle:     true,
+		Seed:        p.Cfg.Seed + 1,
+		RestoreBest: true,
+		ClipNorm:    5,
+	})
+	return nil
+}
+
+// TestMetrics evaluates the fitted model on the held-out test segment at
+// the normalized scale — the scale of the paper's Table II (values ×10⁻²).
+func (p *Predictor) TestMetrics() (metrics.Report, error) {
+	if p.model == nil {
+		return metrics.Report{}, errors.New("core: predictor not fitted")
+	}
+	if p.test.X == nil {
+		return metrics.Report{}, errors.New("core: no held-out test data (loaded predictors serve only)")
+	}
+	preds := train.Predict(p.model, p.test)
+	truth := make([]float64, p.test.Len())
+	h := p.Cfg.Horizon
+	for i := range truth {
+		truth[i] = p.test.Y.Data[i*h]
+	}
+	return metrics.Evaluate(truth, preds), nil
+}
+
+// TestSeries returns the held-out truth and predictions (first-step, at
+// the normalized scale) for plotting (Fig. 8).
+func (p *Predictor) TestSeries() (truth, preds []float64, err error) {
+	if p.model == nil {
+		return nil, nil, errors.New("core: predictor not fitted")
+	}
+	if p.test.X == nil {
+		return nil, nil, errors.New("core: no held-out test data (loaded predictors serve only)")
+	}
+	preds = train.Predict(p.model, p.test)
+	truth = make([]float64, p.test.Len())
+	h := p.Cfg.Horizon
+	for i := range truth {
+		truth[i] = p.test.Y.Data[i*h]
+	}
+	return truth, preds, nil
+}
+
+// Forecast predicts the next Horizon values of the target indicator from
+// the end of the training series, returned on the ORIGINAL (denormalized)
+// scale — Algorithm 1's output cpu_{m+1..m+k}.
+func (p *Predictor) Forecast() ([]float64, error) {
+	if p.model == nil {
+		return nil, errors.New("core: predictor not fitted")
+	}
+	if len(p.prepared) == 0 {
+		return nil, errors.New("core: no retained series (loaded predictors use ForecastFrom)")
+	}
+	n := len(p.prepared[0])
+	if n < p.Cfg.Window {
+		return nil, errors.New("core: series shorter than window")
+	}
+	c := len(p.prepared)
+	x := tensor.New(1, c, p.Cfg.Window)
+	for ci := 0; ci < c; ci++ {
+		copy(x.Data[ci*p.Cfg.Window:(ci+1)*p.Cfg.Window], p.prepared[ci][n-p.Cfg.Window:])
+	}
+	out := p.model.Forward(x, false)
+	normPreds := append([]float64(nil), out.Data...)
+	// Denormalize against the original target indicator's extrema.
+	return p.norm.Inverse(p.target, normPreds), nil
+}
+
+// ForecastFrom predicts the next Horizon values of the target indicator
+// from fresh raw history (same indicator layout as the series passed to
+// Fit). The stored normalizer and screening are applied — nothing is
+// refit — so this is the online serving path: feed the latest monitoring
+// window, get a denormalized forecast.
+func (p *Predictor) ForecastFrom(series [][]float64) ([]float64, error) {
+	if p.model == nil {
+		return nil, errors.New("core: predictor not fitted")
+	}
+	if len(series) != len(p.norm.Min) {
+		return nil, fmt.Errorf("core: expected %d indicator series, got %d", len(p.norm.Min), len(series))
+	}
+	cleaned := dataprep.Clean(series)
+	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
+		return nil, errors.New("core: no complete records in input")
+	}
+	normed := p.norm.Transform(cleaned)
+	sel := dataprep.Select(normed, p.selected)
+	if p.Cfg.Scenario == MulExp {
+		sel = p.expand(sel)
+	}
+	if len(sel) == 0 || len(sel[0]) < p.Cfg.Window {
+		return nil, fmt.Errorf("core: need at least %d complete samples, have %d",
+			p.Cfg.Window+p.Cfg.ExpandFactor-1, len(cleaned[0]))
+	}
+	c := len(sel)
+	n := len(sel[0])
+	x := tensor.New(1, c, p.Cfg.Window)
+	for ci := 0; ci < c; ci++ {
+		copy(x.Data[ci*p.Cfg.Window:(ci+1)*p.Cfg.Window], sel[ci][n-p.Cfg.Window:])
+	}
+	out := p.model.Forward(x, false)
+	return p.norm.Inverse(p.target, append([]float64(nil), out.Data...)), nil
+}
+
+// DenormalizeTarget maps values of the target indicator from the
+// normalized scale back to the raw scale (e.g. test predictions from
+// TestSeries).
+func (p *Predictor) DenormalizeTarget(xs []float64) []float64 {
+	if p.norm == nil {
+		return append([]float64(nil), xs...)
+	}
+	return p.norm.Inverse(p.target, xs)
+}
+
+// History returns the training history (loss curves for Figs. 9–10).
+func (p *Predictor) History() *train.History { return p.history }
+
+// SelectedIndicators returns the indices (into the original series) chosen
+// by the correlation screening, target first.
+func (p *Predictor) SelectedIndicators() []int { return p.selected }
+
+// Model exposes the underlying network (e.g. for attention inspection).
+func (p *Predictor) Model() *Model { return p.model }

@@ -1,0 +1,154 @@
+// Package core implements the paper's primary contribution: RPTCN, a
+// temporal convolutional network extended with a fully connected layer and
+// an attention mechanism for resource-usage prediction in clouds (Fig. 5),
+// plus a Predictor that runs Algorithm 1 end to end (clean → normalize →
+// PCC screening → horizontal expansion → train → k-step forecast).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the RPTCN hyperparameters. The paper's reference
+// architecture uses kernel size 3 with dilations [1, 2, 4] (Fig. 5),
+// weight-normalized residual blocks with spatial dropout (Fig. 6), a fully
+// connected layer, and the attention head of eq. 7–8.
+type Config struct {
+	// InChannels is the number of input feature channels (after screening
+	// and expansion).
+	InChannels int
+	// Channels lists the output channel count of each temporal block.
+	Channels []int
+	// KernelSize is the convolution kernel size K (paper: 3).
+	KernelSize int
+	// Dilations per block; nil means 1, 2, 4, ... (paper: [1,2,4]).
+	Dilations []int
+	// Dropout is the spatial dropout probability inside blocks.
+	Dropout float64
+	// WeightNorm toggles weight normalization in the blocks (paper: on).
+	WeightNorm bool
+	// FCWidth is the width of the fully connected layer (default 64).
+	FCWidth int
+	// Horizon is the number of future steps k to predict.
+	Horizon int
+	// DisableFC / DisableAttention ablate the two heads RPTCN adds to the
+	// plain TCN (for the ablation benchmarks); both off by default, i.e.
+	// the zero value is the paper's full architecture.
+	DisableFC        bool
+	DisableAttention bool
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Channels) == 0 {
+		c.Channels = []int{16, 16, 16}
+	}
+	if c.KernelSize == 0 {
+		c.KernelSize = 3
+	}
+	if c.FCWidth == 0 {
+		c.FCWidth = 64
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1
+	}
+}
+
+// Model is the RPTCN network. The data path follows Fig. 5:
+//
+//	input [batch, channels, window]
+//	  → stacked temporal blocks (dilated causal conv, weight norm,
+//	    ReLU, spatial dropout, residual)        — the TCN
+//	  → last time step                          — sequence-to-vector
+//	  → fully connected layer (eq. 6)           — feature synthesis
+//	  → attention (eq. 7–8)                     — feature re-weighting
+//	  → linear output projection [batch, horizon]
+type Model struct {
+	Cfg Config
+
+	tcn  *nn.TCN
+	last *nn.LastStep
+	fc   *nn.Dense
+	attn *nn.FeatureAttention
+	out  *nn.Dense
+}
+
+// NewModel builds an RPTCN model. The zero-value ablation flags yield the
+// paper's full architecture (FC layer + attention head).
+func NewModel(r *tensor.RNG, cfg Config) *Model {
+	cfg.fillDefaults()
+	if cfg.InChannels < 1 {
+		panic(fmt.Sprintf("core: InChannels = %d", cfg.InChannels))
+	}
+	m := &Model{Cfg: cfg, last: &nn.LastStep{}}
+	m.tcn = nn.NewTCN(r, nn.TCNConfig{
+		InChannels: cfg.InChannels,
+		Channels:   cfg.Channels,
+		KernelSize: cfg.KernelSize,
+		Dilations:  cfg.Dilations,
+		Dropout:    cfg.Dropout,
+		WeightNorm: cfg.WeightNorm,
+	})
+	width := cfg.Channels[len(cfg.Channels)-1]
+	if !cfg.DisableFC {
+		m.fc = nn.NewDense(r, width, cfg.FCWidth)
+		width = cfg.FCWidth
+	}
+	if !cfg.DisableAttention {
+		m.attn = nn.NewFeatureAttention(r, width)
+	}
+	m.out = nn.NewDense(r, width, cfg.Horizon)
+	return m
+}
+
+// Forward implements nn.Layer.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := m.tcn.Forward(x, train)
+	h = m.last.Forward(h, train)
+	if m.fc != nil {
+		h = m.fc.Forward(h, train)
+	}
+	if m.attn != nil {
+		h = m.attn.Forward(h, train)
+	}
+	return m.out.Forward(h, train)
+}
+
+// Backward implements nn.Layer.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := m.out.Backward(grad)
+	if m.attn != nil {
+		g = m.attn.Backward(g)
+	}
+	if m.fc != nil {
+		g = m.fc.Backward(g)
+	}
+	g = m.last.Backward(g)
+	return m.tcn.Backward(g)
+}
+
+// Params implements nn.Layer.
+func (m *Model) Params() []*nn.Param {
+	ps := m.tcn.Params()
+	if m.fc != nil {
+		ps = append(ps, m.fc.Params()...)
+	}
+	if m.attn != nil {
+		ps = append(ps, m.attn.Params()...)
+	}
+	return append(ps, m.out.Params()...)
+}
+
+// ReceptiveField returns the past horizon (in samples) the TCN stack sees.
+func (m *Model) ReceptiveField() int { return m.tcn.ReceptiveField() }
+
+// AttentionWeights exposes the most recent attention vector for
+// interpretation, or nil when attention is ablated or not yet run.
+func (m *Model) AttentionWeights() *tensor.Tensor {
+	if m.attn == nil {
+		return nil
+	}
+	return m.attn.Weights()
+}

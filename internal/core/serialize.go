@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataprep"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// predictorDump is the on-disk form of a fitted predictor: everything
+// needed to rebuild the serving path (config, screening, normalizer,
+// weighted factors, prepared training tail for Forecast, and the model
+// weights).
+type predictorDump struct {
+	Format          int             `json:"format"`
+	Cfg             PredictorConfig `json:"config"`
+	ModelCfg        Config          `json:"model_config"`
+	Target          int             `json:"target"`
+	Selected        []int           `json:"selected"`
+	NormMin         []float64       `json:"norm_min"`
+	NormMax         []float64       `json:"norm_max"`
+	WeightedFactors []int           `json:"weighted_factors,omitempty"`
+	Weights         json.RawMessage `json:"weights"`
+}
+
+// predictorFormat is bumped on incompatible changes.
+const predictorFormat = 1
+
+// Save serializes a fitted predictor to w as JSON. Load restores it; the
+// restored predictor serves ForecastFrom but carries no training history
+// or held-out test data.
+func (p *Predictor) Save(w io.Writer) error {
+	if p.model == nil {
+		return fmt.Errorf("core: cannot save an unfitted predictor")
+	}
+	var weights bytes.Buffer
+	if err := nn.SaveParams(&weights, p.model); err != nil {
+		return err
+	}
+	dump := predictorDump{
+		Format:          predictorFormat,
+		Cfg:             p.Cfg,
+		ModelCfg:        p.model.Cfg,
+		Target:          p.target,
+		Selected:        p.selected,
+		NormMin:         p.norm.Min,
+		NormMax:         p.norm.Max,
+		WeightedFactors: p.weightedFactors,
+		Weights:         json.RawMessage(weights.Bytes()),
+	}
+	return json.NewEncoder(w).Encode(dump)
+}
+
+// LoadPredictor restores a predictor saved with Save. The result is ready
+// for ForecastFrom/DenormalizeTarget; TestMetrics, History and Forecast
+// (which depend on retained training data) return errors.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var dump predictorDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	if dump.Format != predictorFormat {
+		return nil, fmt.Errorf("core: unsupported predictor format %d (want %d)", dump.Format, predictorFormat)
+	}
+	if len(dump.NormMin) == 0 || len(dump.NormMin) != len(dump.NormMax) {
+		return nil, fmt.Errorf("core: corrupt normalizer (%d/%d extrema)", len(dump.NormMin), len(dump.NormMax))
+	}
+	if len(dump.Selected) == 0 {
+		return nil, fmt.Errorf("core: no selected indicators")
+	}
+	for _, s := range dump.Selected {
+		if s < 0 || s >= len(dump.NormMin) {
+			return nil, fmt.Errorf("core: selected indicator %d out of range", s)
+		}
+	}
+	p := NewPredictor(dump.Cfg)
+	p.target = dump.Target
+	p.selected = dump.Selected
+	p.weightedFactors = dump.WeightedFactors
+	p.norm = &dataprep.Normalizer{Min: dump.NormMin, Max: dump.NormMax}
+	p.model = NewModel(tensor.NewRNG(0), dump.ModelCfg)
+	if err := nn.LoadParams(bytes.NewReader(dump.Weights), p.model); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

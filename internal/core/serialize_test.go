@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 800, Seed: 51,
+	})[0]
+	src := NewPredictor(PredictorConfig{
+		Scenario: MulExp, Window: 16, Horizon: 2, Epochs: 4, Seed: 1,
+		Model: Config{Channels: []int{8, 8}, KernelSize: 3, WeightNorm: true, FCWidth: 16},
+	})
+	if err := src.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must produce identical forecasts from the same fresh window.
+	fresh := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 120, Seed: 52,
+	})[0]
+	want, err := src.ForecastFrom(fresh.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.ForecastFrom(fresh.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("forecast mismatch: %v vs %v", got, want)
+		}
+	}
+	// Metadata round trip.
+	if len(dst.SelectedIndicators()) != len(src.SelectedIndicators()) {
+		t.Fatal("selected indicators lost")
+	}
+	if dst.Cfg.Scenario != MulExp || dst.Cfg.Horizon != 2 {
+		t.Fatalf("config lost: %+v", dst.Cfg)
+	}
+}
+
+func TestPredictorSaveLoadWeightedFactors(t *testing.T) {
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 800, Seed: 53,
+	})[0]
+	src := NewPredictor(PredictorConfig{
+		Scenario: MulExp, Expansion: ExpandWeighted,
+		Window: 16, Horizon: 1, Epochs: 3, Seed: 1,
+		Model: Config{Channels: []int{8}, KernelSize: 3, WeightNorm: true, FCWidth: 8},
+	})
+	if err := src.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted factors must replay identically; a mismatch would change
+	// the channel count and fail the forward pass.
+	if _, err := dst.ForecastFrom(e.Matrix()); err != nil {
+		t.Fatalf("restored weighted predictor cannot serve: %v", err)
+	}
+}
+
+func TestSaveUnfittedFails(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Fatal("expected error saving unfitted predictor")
+	}
+}
+
+func TestLoadPredictorRejectsCorruptInput(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("junk")); err == nil {
+		t.Fatal("expected error for junk")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"format":99}`)); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+	if _, err := LoadPredictor(strings.NewReader(
+		`{"format":1,"norm_min":[0],"norm_max":[1],"selected":[5],"weights":{}}`)); err == nil {
+		t.Fatal("expected error for out-of-range selected indicator")
+	}
+	if _, err := LoadPredictor(strings.NewReader(
+		`{"format":1,"norm_min":[0],"norm_max":[1],"selected":[],"weights":{}}`)); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+	if _, err := LoadPredictor(strings.NewReader(
+		`{"format":1,"norm_min":[0,1],"norm_max":[1],"selected":[0],"weights":{}}`)); err == nil {
+		t.Fatal("expected error for mismatched extrema")
+	}
+}
+
+func TestLoadedPredictorRefusesTrainingOnlyAPIs(t *testing.T) {
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 800, Seed: 54,
+	})[0]
+	src := NewPredictor(PredictorConfig{
+		Scenario: Uni, Window: 16, Horizon: 1, Epochs: 3, Seed: 1,
+		Model: Config{Channels: []int{8}, KernelSize: 3, FCWidth: 8},
+	})
+	if err := src.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.TestMetrics(); err == nil {
+		t.Fatal("TestMetrics should fail on a loaded predictor (no test data)")
+	}
+	if _, err := dst.Forecast(); err == nil {
+		t.Fatal("Forecast should fail on a loaded predictor (no retained series)")
+	}
+}

@@ -1,0 +1,286 @@
+// Package dataprep implements the data pipeline of the paper's
+// Algorithm 1: cleaning, min–max normalization (eq. 1), Pearson-correlation
+// screening of performance indicators (eq. 2), horizontal feature expansion
+// in the time dimension (Fig. 4b), and sliding-window supervised dataset
+// construction.
+package dataprep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Clean removes every time index at which any indicator is NaN or Inf
+// (listwise deletion keeps the indicator series aligned). The input is
+// [indicator][time]; all series must have equal length.
+func Clean(series [][]float64) [][]float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	keep := make([]bool, n)
+	kept := 0
+	for t := 0; t < n; t++ {
+		ok := true
+		for _, s := range series {
+			v := s[t]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				ok = false
+				break
+			}
+		}
+		keep[t] = ok
+		if ok {
+			kept++
+		}
+	}
+	out := make([][]float64, len(series))
+	for i, s := range series {
+		o := make([]float64, 0, kept)
+		for t, k := range keep {
+			if k {
+				o = append(o, s[t])
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Normalizer performs per-indicator min–max scaling (eq. 1):
+// x_norm = (x − min) / (max − min). Constant series map to 0.
+type Normalizer struct {
+	Min []float64
+	Max []float64
+}
+
+// FitNormalizer computes the per-series extrema over the given data.
+// Fit it on the training segment only to avoid test-set leakage.
+func FitNormalizer(series [][]float64) *Normalizer {
+	n := &Normalizer{
+		Min: make([]float64, len(series)),
+		Max: make([]float64, len(series)),
+	}
+	for i, s := range series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		n.Min[i], n.Max[i] = lo, hi
+	}
+	return n
+}
+
+// Transform applies the scaling, returning new slices.
+func (n *Normalizer) Transform(series [][]float64) [][]float64 {
+	if len(series) != len(n.Min) {
+		panic(fmt.Sprintf("dataprep: Transform expects %d series, got %d", len(n.Min), len(series)))
+	}
+	out := make([][]float64, len(series))
+	for i, s := range series {
+		span := n.Max[i] - n.Min[i]
+		o := make([]float64, len(s))
+		if span > 0 {
+			for t, v := range s {
+				o[t] = (v - n.Min[i]) / span
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Inverse maps normalized values of series idx back to the raw scale.
+func (n *Normalizer) Inverse(idx int, xs []float64) []float64 {
+	span := n.Max[idx] - n.Min[idx]
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v*span + n.Min[idx]
+	}
+	return out
+}
+
+// Correlations returns the Pearson correlation of every series with the
+// target series (index target), in input order.
+func Correlations(series [][]float64, target int) []float64 {
+	out := make([]float64, len(series))
+	for i, s := range series {
+		out[i] = stats.Pearson(series[target], s)
+	}
+	return out
+}
+
+// CorrelationMatrix returns the full PCC matrix (Fig. 7).
+func CorrelationMatrix(series [][]float64) [][]float64 {
+	n := len(series)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = stats.Pearson(series[i], series[j])
+		}
+	}
+	return m
+}
+
+// ScreenTopHalf ranks indicators by |PCC| with the target and returns the
+// indices of the top half (p = len/2, per Algorithm 1 line 3), with the
+// target itself always first — matching the paper's
+// r'_i = {cpu_i, ..., perf_p}.
+func ScreenTopHalf(series [][]float64, target int) []int {
+	p := len(series) / 2
+	if p < 1 {
+		p = 1
+	}
+	return ScreenTopK(series, target, p)
+}
+
+// ScreenTopK is ScreenTopHalf with an explicit count k (including the
+// target itself).
+func ScreenTopK(series [][]float64, target, k int) []int {
+	corr := Correlations(series, target)
+	type ranked struct {
+		idx int
+		c   float64
+	}
+	rs := make([]ranked, 0, len(series))
+	for i, c := range corr {
+		if i == target {
+			continue
+		}
+		rs = append(rs, ranked{i, math.Abs(c)})
+	}
+	sort.SliceStable(rs, func(a, b int) bool { return rs[a].c > rs[b].c })
+	out := []int{target}
+	for _, r := range rs {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, r.idx)
+	}
+	return out
+}
+
+// Select extracts the given series indices, preserving order.
+func Select(series [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = series[j]
+	}
+	return out
+}
+
+// ExpandHorizontal implements the paper's Fig. 4(b): each indicator r is
+// replicated into `factor` channels, the e-th copy lagged by e samples
+// (r_t, r_{t−1}, r_{t−2}, ... as separate rows). A window of length L over
+// the expanded channels therefore spans L+factor−1 raw samples — "from
+// [r_{t−3}, r_t] to [r_{t−5}, r_t]" in the paper's example — and duplicates
+// recent samples, increasing the weight of short-term neighbours.
+//
+// The first factor−1 time steps (which would index before the start) are
+// trimmed from every output channel so all channels stay aligned.
+func ExpandHorizontal(series [][]float64, factor int) [][]float64 {
+	if factor < 1 {
+		panic(fmt.Sprintf("dataprep: expansion factor %d < 1", factor))
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	if n <= factor-1 {
+		return make([][]float64, 0)
+	}
+	outLen := n - (factor - 1)
+	out := make([][]float64, 0, len(series)*factor)
+	for _, s := range series {
+		for lag := 0; lag < factor; lag++ {
+			c := make([]float64, outLen)
+			// Output index t corresponds to raw index t+factor−1;
+			// this channel reads lag samples earlier.
+			for t := 0; t < outLen; t++ {
+				c[t] = s[t+factor-1-lag]
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WindowConfig controls supervised dataset construction.
+type WindowConfig struct {
+	// Window is the input sequence length L fed to the models.
+	Window int
+	// Horizon is the number of future steps k to predict.
+	Horizon int
+	// Target is the row index (within the provided series) of the
+	// indicator being predicted.
+	Target int
+}
+
+// BuildSupervised slides a window of length cfg.Window over the series
+// ([channel][time], already normalized) and builds a dataset with inputs
+// X = [N, channels, Window] and targets
+// Y = [N, Horizon] holding the next Horizon values of the target series.
+func BuildSupervised(series [][]float64, cfg WindowConfig) (train.Dataset, error) {
+	if len(series) == 0 {
+		return train.Dataset{}, errors.New("dataprep: no series")
+	}
+	if cfg.Window < 1 || cfg.Horizon < 1 {
+		return train.Dataset{}, fmt.Errorf("dataprep: invalid window %d / horizon %d", cfg.Window, cfg.Horizon)
+	}
+	if cfg.Target < 0 || cfg.Target >= len(series) {
+		return train.Dataset{}, fmt.Errorf("dataprep: target %d out of range", cfg.Target)
+	}
+	n := len(series[0])
+	for _, s := range series {
+		if len(s) != n {
+			return train.Dataset{}, errors.New("dataprep: unequal series lengths")
+		}
+	}
+	nSamples := n - cfg.Window - cfg.Horizon + 1
+	if nSamples < 1 {
+		return train.Dataset{}, fmt.Errorf("dataprep: series too short (%d) for window %d + horizon %d", n, cfg.Window, cfg.Horizon)
+	}
+	c := len(series)
+	x := tensor.New(nSamples, c, cfg.Window)
+	y := tensor.New(nSamples, cfg.Horizon)
+	for i := 0; i < nSamples; i++ {
+		for ci := 0; ci < c; ci++ {
+			base := (i*c + ci) * cfg.Window
+			copy(x.Data[base:base+cfg.Window], series[ci][i:i+cfg.Window])
+		}
+		copy(y.Data[i*cfg.Horizon:(i+1)*cfg.Horizon], series[cfg.Target][i+cfg.Window:i+cfg.Window+cfg.Horizon])
+	}
+	return train.Dataset{X: x, Y: y}, nil
+}
+
+// FlattenWindows converts a [N, C, L] dataset into [N][C·L] rows for
+// feature-vector models (XGBoost).
+func FlattenWindows(d train.Dataset) ([][]float64, []float64) {
+	n := d.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	per := d.X.Size() / n
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	hk := d.Y.Size() / n
+	for i := 0; i < n; i++ {
+		row := make([]float64, per)
+		copy(row, d.X.Data[i*per:(i+1)*per])
+		X[i] = row
+		y[i] = d.Y.Data[i*hk] // first-step target
+	}
+	return X, y
+}

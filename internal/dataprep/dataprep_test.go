@@ -1,0 +1,271 @@
+package dataprep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/train"
+)
+
+func TestCleanRemovesNaNRows(t *testing.T) {
+	series := [][]float64{
+		{1, math.NaN(), 3, 4},
+		{5, 6, 7, math.Inf(1)},
+	}
+	got := Clean(series)
+	if len(got[0]) != 2 || got[0][0] != 1 || got[0][1] != 3 {
+		t.Fatalf("Clean = %v", got)
+	}
+	if got[1][0] != 5 || got[1][1] != 7 {
+		t.Fatalf("Clean misaligned: %v", got)
+	}
+}
+
+func TestCleanEmptyAndCleanInput(t *testing.T) {
+	if Clean(nil) != nil {
+		t.Fatal("Clean(nil) should be nil")
+	}
+	series := [][]float64{{1, 2}, {3, 4}}
+	got := Clean(series)
+	if len(got[0]) != 2 {
+		t.Fatal("Clean dropped valid rows")
+	}
+}
+
+func TestNormalizerMapsToUnitInterval(t *testing.T) {
+	series := [][]float64{{10, 20, 30}, {-1, 0, 1}}
+	n := FitNormalizer(series)
+	out := n.Transform(series)
+	want0 := []float64{0, 0.5, 1}
+	for i, v := range want0 {
+		if math.Abs(out[0][i]-v) > 1e-12 {
+			t.Fatalf("Transform[0] = %v", out[0])
+		}
+	}
+	if out[1][0] != 0 || out[1][2] != 1 {
+		t.Fatalf("Transform[1] = %v", out[1])
+	}
+}
+
+func TestNormalizerConstantSeries(t *testing.T) {
+	series := [][]float64{{5, 5, 5}}
+	n := FitNormalizer(series)
+	out := n.Transform(series)
+	for _, v := range out[0] {
+		if v != 0 {
+			t.Fatalf("constant series should map to 0, got %v", out[0])
+		}
+	}
+}
+
+func TestNormalizerInverseRoundTrip(t *testing.T) {
+	series := [][]float64{{3, 9, 6, 12}}
+	n := FitNormalizer(series)
+	norm := n.Transform(series)
+	back := n.Inverse(0, norm[0])
+	for i, v := range back {
+		if math.Abs(v-series[0][i]) > 1e-12 {
+			t.Fatalf("Inverse round trip = %v", back)
+		}
+	}
+}
+
+func TestNormalizerNoLeakageFromTest(t *testing.T) {
+	trainPart := [][]float64{{0, 10}}
+	n := FitNormalizer(trainPart)
+	// Values outside the training range extrapolate beyond [0,1] — by
+	// design, since fitting on test data would leak.
+	out := n.Transform([][]float64{{20}})
+	if out[0][0] != 2 {
+		t.Fatalf("out-of-range transform = %v", out[0])
+	}
+}
+
+func TestCorrelationsAndMatrix(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	c := []float64{4, 3, 2, 1}
+	corr := Correlations([][]float64{a, b, c}, 0)
+	if math.Abs(corr[0]-1) > 1e-12 || math.Abs(corr[1]-1) > 1e-12 || math.Abs(corr[2]+1) > 1e-12 {
+		t.Fatalf("Correlations = %v", corr)
+	}
+	m := CorrelationMatrix([][]float64{a, c})
+	if math.Abs(m[0][0]-1) > 1e-12 || math.Abs(m[0][1]+1) > 1e-12 || math.Abs(m[1][0]+1) > 1e-12 {
+		t.Fatalf("CorrelationMatrix = %v", m)
+	}
+}
+
+func TestScreenTopHalfKeepsTargetFirst(t *testing.T) {
+	target := []float64{1, 2, 3, 4, 5, 6}
+	strong := []float64{1.1, 2.1, 2.9, 4.2, 5.1, 5.9}
+	weak := []float64{3, 1, 4, 1, 5, 9}
+	anti := []float64{6, 5, 4, 3, 2, 1} // |corr| = 1, ranks top
+	series := [][]float64{weak, target, strong, anti}
+	idx := ScreenTopHalf(series, 1)
+	if len(idx) != 2 {
+		t.Fatalf("top half of 4 = %d entries", len(idx))
+	}
+	if idx[0] != 1 {
+		t.Fatalf("target must come first, got %v", idx)
+	}
+	if idx[1] != 3 && idx[1] != 2 {
+		t.Fatalf("second pick should be a strongly correlated series, got %v", idx)
+	}
+}
+
+func TestScreenTopKAbsoluteCorrelation(t *testing.T) {
+	target := []float64{1, 2, 3, 4}
+	anti := []float64{4, 3, 2, 1}
+	noise := []float64{1, -1, 1, -1}
+	idx := ScreenTopK([][]float64{target, anti, noise}, 0, 2)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("ScreenTopK must rank by |PCC|: %v", idx)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	series := [][]float64{{1}, {2}, {3}}
+	got := Select(series, []int{2, 0})
+	if got[0][0] != 3 || got[1][0] != 1 {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+func TestExpandHorizontalLagsAndAlignment(t *testing.T) {
+	s := []float64{10, 11, 12, 13, 14}
+	out := ExpandHorizontal([][]float64{s}, 3)
+	if len(out) != 3 {
+		t.Fatalf("expanded channels = %d", len(out))
+	}
+	// Output index 0 corresponds to raw index 2.
+	if len(out[0]) != 3 {
+		t.Fatalf("expanded length = %d", len(out[0]))
+	}
+	// lag 0: raw values 12,13,14; lag 1: 11,12,13; lag 2: 10,11,12.
+	want := [][]float64{{12, 13, 14}, {11, 12, 13}, {10, 11, 12}}
+	for l := range want {
+		for i := range want[l] {
+			if out[l][i] != want[l][i] {
+				t.Fatalf("lag %d = %v, want %v", l, out[l], want[l])
+			}
+		}
+	}
+}
+
+func TestExpandHorizontalFactorOneIsCopy(t *testing.T) {
+	s := []float64{1, 2, 3}
+	out := ExpandHorizontal([][]float64{s}, 1)
+	if len(out) != 1 || len(out[0]) != 3 || out[0][2] != 3 {
+		t.Fatalf("factor 1 = %v", out)
+	}
+}
+
+func TestExpandHorizontalMultipleIndicators(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	out := ExpandHorizontal([][]float64{a, b}, 2)
+	if len(out) != 4 {
+		t.Fatalf("channels = %d, want 4", len(out))
+	}
+	// Channel order: a lag0, a lag1, b lag0, b lag1.
+	if out[0][0] != 2 || out[1][0] != 1 || out[2][0] != 6 || out[3][0] != 5 {
+		t.Fatalf("channel order wrong: %v", out)
+	}
+}
+
+func TestExpandHorizontalTooShort(t *testing.T) {
+	out := ExpandHorizontal([][]float64{{1}}, 3)
+	if len(out) != 0 {
+		t.Fatalf("too-short expansion should be empty, got %v", out)
+	}
+}
+
+func TestExpandHorizontalSpansPaperExample(t *testing.T) {
+	// Paper: window of 4 over factor-3 expansion spans [r_{t-5}, r_t].
+	s := make([]float64, 20)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	out := ExpandHorizontal([][]float64{s}, 3)
+	L := 4
+	// Take the final window of length 4 across all 3 channels: values
+	// touched must span raw indices t−5..t.
+	end := len(out[0])
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ch := range out {
+		for _, v := range ch[end-L:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi != 19 || lo != 14 {
+		t.Fatalf("window spans raw [%g, %g], want [14, 19]", lo, hi)
+	}
+}
+
+func TestBuildSupervisedShapesAndValues(t *testing.T) {
+	a := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	b := []float64{10, 11, 12, 13, 14, 15, 16, 17}
+	d, err := BuildSupervised([][]float64{a, b}, WindowConfig{Window: 3, Horizon: 2, Target: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N = 8 − 3 − 2 + 1 = 4 samples.
+	if d.Len() != 4 {
+		t.Fatalf("samples = %d, want 4", d.Len())
+	}
+	if d.X.Dim(1) != 2 || d.X.Dim(2) != 3 || d.Y.Dim(1) != 2 {
+		t.Fatalf("shapes X=%v Y=%v", d.X.Shape(), d.Y.Shape())
+	}
+	// Sample 0: window a[0:3], b[0:3]; targets a[3], a[4].
+	if d.X.At(0, 0, 0) != 0 || d.X.At(0, 0, 2) != 2 || d.X.At(0, 1, 1) != 11 {
+		t.Fatal("X values wrong")
+	}
+	if d.Y.At(0, 0) != 3 || d.Y.At(0, 1) != 4 {
+		t.Fatalf("Y values wrong: %v", d.Y.Data)
+	}
+	// Last sample: window a[3:6]; targets a[6], a[7].
+	if d.Y.At(3, 0) != 6 || d.Y.At(3, 1) != 7 {
+		t.Fatal("last sample targets wrong")
+	}
+}
+
+func TestBuildSupervisedErrors(t *testing.T) {
+	if _, err := BuildSupervised(nil, WindowConfig{Window: 2, Horizon: 1}); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+	if _, err := BuildSupervised([][]float64{{1, 2}}, WindowConfig{Window: 0, Horizon: 1}); err == nil {
+		t.Fatal("expected error for zero window")
+	}
+	if _, err := BuildSupervised([][]float64{{1, 2}}, WindowConfig{Window: 2, Horizon: 1, Target: 5}); err == nil {
+		t.Fatal("expected error for bad target")
+	}
+	if _, err := BuildSupervised([][]float64{{1, 2}, {1}}, WindowConfig{Window: 1, Horizon: 1}); err == nil {
+		t.Fatal("expected error for ragged series")
+	}
+	if _, err := BuildSupervised([][]float64{{1, 2}}, WindowConfig{Window: 2, Horizon: 2}); err == nil {
+		t.Fatal("expected error for too-short series")
+	}
+}
+
+func TestFlattenWindows(t *testing.T) {
+	a := []float64{0, 1, 2, 3, 4}
+	d, err := BuildSupervised([][]float64{a}, WindowConfig{Window: 2, Horizon: 1, Target: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y := FlattenWindows(d)
+	if len(X) != 3 || len(X[0]) != 2 {
+		t.Fatalf("FlattenWindows X = %v", X)
+	}
+	if X[0][0] != 0 || X[0][1] != 1 || y[0] != 2 {
+		t.Fatalf("row 0 = %v -> %g", X[0], y[0])
+	}
+}
+
+func TestFlattenWindowsEmpty(t *testing.T) {
+	X, y := FlattenWindows(train.Dataset{})
+	if X != nil || y != nil {
+		t.Fatal("empty dataset should flatten to nil")
+	}
+}

@@ -1,0 +1,124 @@
+package dataprep
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the two data-expansion improvements the paper's
+// discussion (Sec. V-C) proposes as future work:
+//
+//  1. "adding first-order difference information for resource utilization"
+//     — ExpandWithDifference appends a Δr channel per indicator.
+//  2. "set different dimension columns according to the correlation
+//     weights of each performance metric" — ExpandWeighted gives each
+//     indicator an expansion factor proportional to its |PCC| with the
+//     prediction target.
+
+// ExpandWithDifference performs horizontal expansion (Fig. 4b) and
+// additionally appends one first-difference channel per indicator:
+// Δr_t = r_t − r_{t−1}. Channel order per indicator: lag 0 .. lag factor−1,
+// then the difference channel. Output series are trimmed to stay aligned
+// (by max(factor−1, 1) samples).
+func ExpandWithDifference(series [][]float64, factor int) [][]float64 {
+	if factor < 1 {
+		panic(fmt.Sprintf("dataprep: expansion factor %d < 1", factor))
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	trim := factor - 1
+	if trim < 1 {
+		trim = 1 // the difference channel needs one step of history
+	}
+	n := len(series[0])
+	if n <= trim {
+		return make([][]float64, 0)
+	}
+	outLen := n - trim
+	out := make([][]float64, 0, len(series)*(factor+1))
+	for _, s := range series {
+		for lag := 0; lag < factor; lag++ {
+			c := make([]float64, outLen)
+			for t := 0; t < outLen; t++ {
+				c[t] = s[t+trim-lag]
+			}
+			out = append(out, c)
+		}
+		d := make([]float64, outLen)
+		for t := 0; t < outLen; t++ {
+			d[t] = s[t+trim] - s[t+trim-1]
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ExpandWeighted assigns each indicator an expansion factor of
+// 1 + round(|corr|·(maxFactor−1)), so strongly correlated indicators get
+// more lagged copies (more short-term weight) and weak ones fewer. corr
+// must have one entry per series (the PCC with the prediction target, as
+// returned by Correlations). All output channels are trimmed by
+// maxFactor−1 samples to stay aligned regardless of per-channel factors.
+//
+// The per-indicator channel counts are returned alongside the expanded
+// series so callers can map channels back to indicators.
+func ExpandWeighted(series [][]float64, corr []float64, maxFactor int) (out [][]float64, factors []int) {
+	if maxFactor < 1 {
+		panic(fmt.Sprintf("dataprep: maxFactor %d < 1", maxFactor))
+	}
+	if len(series) != len(corr) {
+		panic(fmt.Sprintf("dataprep: %d series but %d correlations", len(series), len(corr)))
+	}
+	if len(series) == 0 {
+		return nil, nil
+	}
+	factors = WeightedFactors(corr, maxFactor)
+	return ExpandWithFactors(series, factors, maxFactor), factors
+}
+
+// WeightedFactors maps per-indicator correlations to expansion factors:
+// 1 + round(|corr|·(maxFactor−1)), clamped to [1, maxFactor].
+func WeightedFactors(corr []float64, maxFactor int) []int {
+	factors := make([]int, len(corr))
+	for i, c := range corr {
+		f := 1 + int(math.Round(math.Abs(c)*float64(maxFactor-1)))
+		if f > maxFactor {
+			f = maxFactor
+		}
+		if f < 1 {
+			f = 1
+		}
+		factors[i] = f
+	}
+	return factors
+}
+
+// ExpandWithFactors expands each series into factors[i] lagged copies,
+// trimming all channels by maxFactor−1 samples for alignment. Use it to
+// replay a weighted expansion with factors fixed at training time.
+func ExpandWithFactors(series [][]float64, factors []int, maxFactor int) [][]float64 {
+	if len(series) != len(factors) {
+		panic(fmt.Sprintf("dataprep: %d series but %d factors", len(series), len(factors)))
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	trim := maxFactor - 1
+	n := len(series[0])
+	if n <= trim {
+		return make([][]float64, 0)
+	}
+	outLen := n - trim
+	var out [][]float64
+	for si, s := range series {
+		for lag := 0; lag < factors[si]; lag++ {
+			c := make([]float64, outLen)
+			for t := 0; t < outLen; t++ {
+				c[t] = s[t+trim-lag]
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package dataprep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpandWithDifferenceChannels(t *testing.T) {
+	s := []float64{10, 11, 13, 16, 20}
+	out := ExpandWithDifference([][]float64{s}, 2)
+	// 2 lag channels + 1 difference channel.
+	if len(out) != 3 {
+		t.Fatalf("channels = %d, want 3", len(out))
+	}
+	// trim = 1; output index 0 = raw index 1.
+	if len(out[0]) != 4 {
+		t.Fatalf("length = %d, want 4", len(out[0]))
+	}
+	// lag 0: 11,13,16,20 ; lag 1: 10,11,13,16 ; diff: 1,2,3,4.
+	wantLag0 := []float64{11, 13, 16, 20}
+	wantLag1 := []float64{10, 11, 13, 16}
+	wantDiff := []float64{1, 2, 3, 4}
+	for i := range wantLag0 {
+		if out[0][i] != wantLag0[i] || out[1][i] != wantLag1[i] || out[2][i] != wantDiff[i] {
+			t.Fatalf("got %v / %v / %v", out[0], out[1], out[2])
+		}
+	}
+}
+
+func TestExpandWithDifferenceFactorOne(t *testing.T) {
+	// factor 1 still trims one sample for the difference channel.
+	s := []float64{5, 8, 7}
+	out := ExpandWithDifference([][]float64{s}, 1)
+	if len(out) != 2 || len(out[0]) != 2 {
+		t.Fatalf("shape = %dx%d", len(out), len(out[0]))
+	}
+	if out[0][0] != 8 || out[1][0] != 3 || out[1][1] != -1 {
+		t.Fatalf("got %v / %v", out[0], out[1])
+	}
+}
+
+func TestExpandWithDifferenceTooShort(t *testing.T) {
+	if got := ExpandWithDifference([][]float64{{1}}, 2); len(got) != 0 {
+		t.Fatalf("too-short = %v", got)
+	}
+}
+
+func TestExpandWeightedFactorsFollowCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{6, 5, 4, 3, 2, 1}
+	c := []float64{1, 1, 2, 1, 1, 2}
+	corr := []float64{1.0, -1.0, 0.1}
+	out, factors := ExpandWeighted([][]float64{a, b, c}, corr, 3)
+	// |corr|=1 → factor 3; |corr|=0.1 → 1 + round(0.2) = 1.
+	if factors[0] != 3 || factors[1] != 3 || factors[2] != 1 {
+		t.Fatalf("factors = %v", factors)
+	}
+	if len(out) != 7 {
+		t.Fatalf("channels = %d, want 7", len(out))
+	}
+	// All channels trimmed by maxFactor−1 = 2.
+	for _, ch := range out {
+		if len(ch) != 4 {
+			t.Fatalf("channel length = %d, want 4", len(ch))
+		}
+	}
+	// First indicator lag-0 starts at raw index 2.
+	if out[0][0] != 3 || out[1][0] != 2 || out[2][0] != 1 {
+		t.Fatalf("lags wrong: %v %v %v", out[0], out[1], out[2])
+	}
+	// Third indicator (factor 1) is its lag-0 at the same alignment.
+	last := out[6]
+	if last[0] != 2 || last[3] != 2 {
+		t.Fatalf("weak channel = %v", last)
+	}
+}
+
+func TestExpandWeightedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched corr length")
+		}
+	}()
+	ExpandWeighted([][]float64{{1, 2}}, []float64{0.5, 0.5}, 2)
+}
+
+func TestExpandWeightedNaNCorrelationSafe(t *testing.T) {
+	// A NaN correlation (constant series) must not panic; factor clamps to 1.
+	s := []float64{1, 2, 3, 4}
+	out, factors := ExpandWeighted([][]float64{s}, []float64{math.NaN()}, 3)
+	if len(out) != 1 || factors[0] != 1 {
+		t.Fatalf("NaN corr: %v %v", factors, out)
+	}
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataprep"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// AblationResult maps a variant label to its test metrics.
+type AblationResult struct {
+	Title   string
+	Order   []string
+	Results map[string]metrics.Report
+}
+
+// Format renders the variants in declaration order.
+func (a *AblationResult) Format() string {
+	var b strings.Builder
+	b.WriteString(a.Title + "\n")
+	fmt.Fprintf(&b, "%-28s %12s %12s\n", "variant", "MSE", "MAE")
+	for _, k := range a.Order {
+		r := a.Results[k]
+		fmt.Fprintf(&b, "%-28s %12.5f %12.5f\n", k, r.MSE, r.MAE)
+	}
+	return b.String()
+}
+
+func (a *AblationResult) add(label string, r metrics.Report) {
+	a.Order = append(a.Order, label)
+	a.Results[label] = r
+}
+
+// runRPTCNVariant trains one RPTCN configuration on prepared data.
+func runRPTCNVariant(p *preparedData, o Options, cfg core.Config, seed uint64) metrics.Report {
+	cfg.InChannels = p.channels
+	cfg.Horizon = o.Horizon
+	m := core.NewModel(tensor.NewRNG(seed), cfg)
+	train.Fit(m, p.tr, p.va, deepTrainConfig(o, seed+100))
+	preds := train.Predict(m, p.te)
+	return metrics.Evaluate(p.testTruth, preds)
+}
+
+func baseRPTCNConfig() core.Config {
+	return core.Config{
+		Channels:   []int{16, 16, 16},
+		KernelSize: 3,
+		Dilations:  []int{1, 2, 4},
+		Dropout:    0.1,
+		WeightNorm: true,
+		FCWidth:    32,
+	}
+}
+
+// RunAblationHeads compares the full RPTCN against variants without the
+// fully connected layer and/or the attention head — the two additions the
+// paper makes on top of the plain TCN.
+func RunAblationHeads(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	p, err := prepareScenario(e, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation: FC layer and attention head (containers, Mul-Exp)", Results: map[string]metrics.Report{}}
+	variants := []struct {
+		label string
+		mut   func(*core.Config)
+	}{
+		{"RPTCN (FC + attention)", func(*core.Config) {}},
+		{"no attention", func(c *core.Config) { c.DisableAttention = true }},
+		{"no FC", func(c *core.Config) { c.DisableFC = true }},
+		{"plain TCN (neither)", func(c *core.Config) { c.DisableFC = true; c.DisableAttention = true }},
+	}
+	for i, v := range variants {
+		cfg := baseRPTCNConfig()
+		v.mut(&cfg)
+		out.add(v.label, runRPTCNVariant(p, o, cfg, o.Seed+uint64(i)*613))
+	}
+	return out, nil
+}
+
+// RunAblationExpansion compares the paper's horizontal expansion
+// (Fig. 4b) against vertical expansion (Fig. 4a: a longer window with the
+// same raw span) and no expansion, all on the same screened features.
+func RunAblationExpansion(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	out := &AblationResult{Title: "Ablation: feature expansion strategy (containers)", Results: map[string]metrics.Report{}}
+
+	run := func(label string, sc core.Scenario, window int, seed uint64) error {
+		oo := o
+		oo.Window = window
+		p, err := prepareScenario(e, sc, oo)
+		if err != nil {
+			return err
+		}
+		out.add(label, runRPTCNVariant(p, oo, baseRPTCNConfig(), seed))
+		return nil
+	}
+	// Horizontal (Fig. 4b): window L over factor-expanded channels spans
+	// L+factor−1 raw samples.
+	if err := run("horizontal (Fig. 4b)", core.MulExp, o.Window, o.Seed+1); err != nil {
+		return nil, err
+	}
+	// Vertical (Fig. 4a): same raw span with plain channels.
+	if err := run("vertical (Fig. 4a)", core.Mul, o.Window+o.ExpandFactor-1, o.Seed+2); err != nil {
+		return nil, err
+	}
+	if err := run("none (Mul)", core.Mul, o.Window, o.Seed+3); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunAblationDilations sweeps the dilation schedule depth, trading
+// receptive field against parameter count.
+func RunAblationDilations(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	p, err := prepareScenario(e, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation: dilation schedule (containers, Mul-Exp)", Results: map[string]metrics.Report{}}
+	for i, dil := range [][]int{{1}, {1, 2}, {1, 2, 4}, {1, 2, 4, 8}} {
+		cfg := baseRPTCNConfig()
+		cfg.Dilations = dil
+		cfg.Channels = make([]int, len(dil))
+		for j := range cfg.Channels {
+			cfg.Channels[j] = 16
+		}
+		label := fmt.Sprintf("dilations=%v", dil)
+		out.add(label, runRPTCNVariant(p, o, cfg, o.Seed+uint64(i)*997))
+	}
+	return out, nil
+}
+
+// RunAblationWeightNorm compares weight-normalized temporal blocks against
+// plain convolutions.
+func RunAblationWeightNorm(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	p, err := prepareScenario(e, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation: weight normalization (containers, Mul-Exp)", Results: map[string]metrics.Report{}}
+	on := baseRPTCNConfig()
+	out.add("weight norm on", runRPTCNVariant(p, o, on, o.Seed+5))
+	off := baseRPTCNConfig()
+	off.WeightNorm = false
+	out.add("weight norm off", runRPTCNVariant(p, o, off, o.Seed+6))
+	return out, nil
+}
+
+// RunAblationScreening compares PCC top-half screening against using all
+// indicators and the target alone, quantifying the paper's claim that
+// weakly-correlated inputs hurt.
+func RunAblationScreening(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	out := &AblationResult{Title: "Ablation: indicator screening (containers)", Results: map[string]metrics.Report{}}
+
+	series := dataprep.Clean(e.Matrix())
+	norm := dataprep.FitNormalizer(series)
+	normed := norm.Transform(series)
+	target := int(trace.CPUUtilPercent)
+
+	runSet := func(label string, sel [][]float64, seed uint64) error {
+		ds, err := dataprep.BuildSupervised(sel, dataprep.WindowConfig{
+			Window: o.Window, Horizon: o.Horizon, Target: 0,
+		})
+		if err != nil {
+			return err
+		}
+		tr, va, te, err := train.Split(ds, 0.6, 0.2)
+		if err != nil {
+			return err
+		}
+		truth := make([]float64, te.Len())
+		for i := range truth {
+			truth[i] = te.Y.Data[i*o.Horizon]
+		}
+		p := &preparedData{tr: tr, va: va, te: te, channels: len(sel), testTruth: truth}
+		out.add(label, runRPTCNVariant(p, o, baseRPTCNConfig(), seed))
+		return nil
+	}
+
+	topHalf := dataprep.Select(normed, dataprep.ScreenTopHalf(normed, target))
+	all := dataprep.Select(normed, append([]int{target}, others(target, len(normed))...))
+	uni := dataprep.Select(normed, []int{target})
+	if err := runSet("top-half by |PCC| (paper)", topHalf, o.Seed+11); err != nil {
+		return nil, err
+	}
+	if err := runSet("all indicators", all, o.Seed+12); err != nil {
+		return nil, err
+	}
+	if err := runSet("target only", uni, o.Seed+13); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func others(target, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if i != target {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunAblationFutureWork evaluates the two expansion improvements the
+// paper's Sec. V-C proposes as future work — first-order difference
+// channels and correlation-weighted expansion factors — against the
+// published Fig. 4b method, using the full Predictor pipeline.
+func RunAblationFutureWork(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	out := &AblationResult{Title: "Future work: expansion strategies (containers, Mul-Exp)", Results: map[string]metrics.Report{}}
+	for i, mode := range []core.ExpansionMode{core.ExpandLags, core.ExpandLagsDiff, core.ExpandWeighted} {
+		p := core.NewPredictor(core.PredictorConfig{
+			Scenario:     core.MulExp,
+			Expansion:    mode,
+			Window:       o.Window,
+			Horizon:      o.Horizon,
+			ExpandFactor: o.ExpandFactor,
+			Epochs:       o.Epochs,
+			LearningRate: 2e-3,
+			Seed:         o.Seed + uint64(i)*401,
+			Model:        baseRPTCNConfig(),
+		})
+		if err := p.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+			return nil, err
+		}
+		rep, err := p.TestMetrics()
+		if err != nil {
+			return nil, err
+		}
+		out.add("expansion="+mode.String(), rep)
+	}
+	return out, nil
+}
+
+// RunHorizonSweep measures RPTCN accuracy as the forecast horizon grows —
+// the "long-term prediction" axis of the paper's claims. Unlike the other
+// studies (which score the first step, as Table II does), this one scores
+// every one of the k predicted steps, so error growth with lead time is
+// visible.
+func RunHorizonSweep(o Options, horizons []int) (*AblationResult, error) {
+	o = o.withDefaults()
+	if len(horizons) == 0 {
+		horizons = []int{1, 3, 6, 12}
+	}
+	e := Generate1(trace.Machine, o)
+	out := &AblationResult{Title: "Horizon sweep: RPTCN all-step accuracy (machines, Mul-Exp)", Results: map[string]metrics.Report{}}
+	for i, h := range horizons {
+		oo := o
+		oo.Horizon = h
+		p, err := prepareScenario(e, core.MulExp, oo)
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseRPTCNConfig()
+		cfg.InChannels = p.channels
+		cfg.Horizon = h
+		m := core.NewModel(tensor.NewRNG(o.Seed+uint64(i)*211), cfg)
+		train.Fit(m, p.tr, p.va, deepTrainConfigLR(oo, o.Seed+uint64(i)*211+100, 2e-3))
+		rows := train.PredictAll(m, p.te)
+		preds := make([]float64, 0, len(rows)*h)
+		for _, row := range rows {
+			preds = append(preds, row...)
+		}
+		out.add(fmt.Sprintf("k=%d", h), metrics.Evaluate(p.te.Y.Data, preds))
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig8Result carries the predicted-vs-true comparison around an abrupt
+// mutation point (Fig. 8), in the Mul-Exp scenario.
+type Fig8Result struct {
+	// MutationAt is the sample index of the step change within the test
+	// segment (the paper's plot shows it near sample 350).
+	MutationAt int
+	Truth      []float64
+	Preds      map[ModelName][]float64
+	Reports    map[ModelName]metrics.Report
+	// PostMutationMAE measures tracking accuracy in the window right after
+	// the step, where the paper observes baselines fail to correct.
+	PostMutationMAE map[ModelName]float64
+}
+
+// RunFig8 regenerates Fig. 8: a machine whose CPU steps up abruptly inside
+// the test segment; every model trains on the pre-mutation regime and is
+// judged on how it tracks the new one.
+func RunFig8(o Options) (*Fig8Result, error) {
+	o = o.withDefaults()
+	// Place the mutation 350 test samples after the test segment starts
+	// (clamped for fast configurations).
+	nWindows := o.Samples - (o.ExpandFactor - 1) - o.Window - o.Horizon + 1
+	testStartWindow := int(float64(nWindows)*0.8) + 1
+	offset := 350
+	if offset > (nWindows-testStartWindow)/2 {
+		offset = (nWindows - testStartWindow) / 2
+	}
+	// Window i's first-step target sits at raw index i+Window (within the
+	// expanded/trimmed series), i.e. i+Window+(factor−1) in the raw series.
+	mutationRaw := testStartWindow + offset + o.Window + (o.ExpandFactor - 1)
+	e := trace.GenerateWithMutation(o.Samples, mutationRaw, o.Seed+44)
+
+	p, err := prepareScenario(e, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{
+		MutationAt:      offset,
+		Truth:           p.testTruth,
+		Preds:           map[ModelName][]float64{},
+		Reports:         map[ModelName]metrics.Report{},
+		PostMutationMAE: map[ModelName]float64{},
+	}
+	for mi, name := range []ModelName{ModelARIMA, ModelLSTM, ModelCNNLSTM, ModelXGBoost, ModelRPTCN} {
+		r := runModel(name, p, o, o.Seed+uint64(mi)*104729)
+		res.Preds[name] = r.Preds
+		res.Reports[name] = r.Report
+		lo := offset
+		hi := offset + 100
+		if hi > len(p.testTruth) {
+			hi = len(p.testTruth)
+		}
+		if lo < hi && lo < len(r.Preds) {
+			res.PostMutationMAE[name] = metrics.MAE(p.testTruth[lo:hi], r.Preds[lo:hi])
+		}
+	}
+	return res, nil
+}
+
+// StepSize returns the truth's mean level change across the mutation.
+func (f *Fig8Result) StepSize() float64 {
+	if f.MutationAt <= 0 || f.MutationAt >= len(f.Truth) {
+		return 0
+	}
+	pre := f.Truth[:f.MutationAt]
+	post := f.Truth[f.MutationAt:]
+	return stats.Mean(post) - stats.Mean(pre)
+}
+
+// Format renders the per-model accuracy around the mutation.
+func (f *Fig8Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: mutation tracking (step of %+.3f normalized CPU at test sample %d)\n",
+		f.StepSize(), f.MutationAt)
+	fmt.Fprintf(&b, "%-9s %12s %12s %16s\n", "Model", "test MSE", "test MAE", "post-step MAE")
+	for _, name := range []ModelName{ModelARIMA, ModelLSTM, ModelCNNLSTM, ModelXGBoost, ModelRPTCN} {
+		r := f.Reports[name]
+		fmt.Fprintf(&b, "%-9s %12.5f %12.5f %16.5f\n", name, r.MSE, r.MAE, f.PostMutationMAE[name])
+	}
+	return b.String()
+}
+
+// Fig9Result carries the training-loss convergence curves on containers
+// (Fig. 9); Fig10Result the validation-loss curves on machines (Fig. 10).
+type Fig9Result struct {
+	Curves map[ModelName][]float64
+}
+
+// Fig10Result is the Fig. 10 counterpart (validation loss on machines).
+type Fig10Result struct {
+	Curves map[ModelName][]float64
+}
+
+// convergenceModels are the models whose loss curves the figures compare.
+var convergenceModels = []ModelName{ModelLSTM, ModelCNNLSTM, ModelXGBoost, ModelRPTCN}
+
+// RunFig9 regenerates Fig. 9: per-epoch TRAINING loss of each deep model
+// (and per-round training loss for XGBoost) on a container workload,
+// Mul-Exp scenario.
+func RunFig9(o Options) (*Fig9Result, error) {
+	o = o.withDefaults()
+	curves, err := convergenceCurves(trace.Container, o, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Curves: curves}, nil
+}
+
+// RunFig10 regenerates Fig. 10: per-epoch VALIDATION loss on a machine
+// workload, Mul-Exp scenario.
+func RunFig10(o Options) (*Fig10Result, error) {
+	o = o.withDefaults()
+	curves, err := convergenceCurves(trace.Machine, o, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Curves: curves}, nil
+}
+
+func convergenceCurves(kind trace.EntityKind, o Options, valid bool) (map[ModelName][]float64, error) {
+	entity := Generate1(kind, o)
+	p, err := prepareScenario(entity, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	out := map[ModelName][]float64{}
+	for mi, name := range convergenceModels {
+		r := runModel(name, p, o, o.Seed+uint64(mi)*31337)
+		if valid {
+			out[name] = r.ValidLoss
+		} else {
+			out[name] = r.TrainLoss
+		}
+	}
+	return out, nil
+}
+
+func formatCurves(title string, curves map[ModelName][]float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	maxLen := 0
+	for _, c := range curves {
+		if len(c) > maxLen {
+			maxLen = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-6s", "epoch")
+	for _, name := range convergenceModels {
+		fmt.Fprintf(&b, "%12s", name)
+	}
+	b.WriteString("\n")
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&b, "%-6d", i)
+		for _, name := range convergenceModels {
+			c := curves[name]
+			if i < len(c) {
+				fmt.Fprintf(&b, "%12.6f", c[i])
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Format renders the Fig. 9 curves.
+func (f *Fig9Result) Format() string {
+	return formatCurves("Fig. 9: training-loss convergence on containers (Mul-Exp)", f.Curves)
+}
+
+// Format renders the Fig. 10 curves.
+func (f *Fig10Result) Format() string {
+	return formatCurves("Fig. 10: validation loss on machines (Mul-Exp)", f.Curves)
+}

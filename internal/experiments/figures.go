@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataprep"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TableI returns the paper's Table I: the meaning of each monitored
+// indicator, in canonical order.
+func TableI() string {
+	meanings := map[trace.Indicator]string{
+		trace.CPUUtilPercent: "cpu utilization percent",
+		trace.MemUtilPercent: "memory utilization percent",
+		trace.CPI:            "cycles per instruction",
+		trace.MemGPS:         "normalized memory gigabyte per second",
+		trace.MPKI:           "misses per kilo instructions",
+		trace.NetIn:          "normalized incoming network traffic",
+		trace.NetOut:         "normalized outgoing network traffic",
+		trace.DiskIOPercent:  "disk io percent",
+	}
+	var b strings.Builder
+	b.WriteString("Table I: the meaning of each indicator\n")
+	fmt.Fprintf(&b, "%-18s %s\n", "Indicator", "Meaning")
+	for _, ind := range trace.AllIndicators() {
+		fmt.Fprintf(&b, "%-18s %s\n", ind.String(), meanings[ind])
+	}
+	return b.String()
+}
+
+// Fig1Result carries the high-dynamic container utilization series of
+// Fig. 1 (CPU, memory and disk I/O of one container over time).
+type Fig1Result struct {
+	ID       string
+	Interval int
+	CPU      []float64
+	Mem      []float64
+	Disk     []float64
+}
+
+// RunFig1 regenerates Fig. 1: the utilization of one representative
+// container, demonstrating fluctuation without long-run regularity.
+func RunFig1(o Options) Fig1Result {
+	o = o.withDefaults()
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: o.Samples, Seed: o.Seed + 41,
+	})[0]
+	return Fig1Result{
+		ID:       e.ID,
+		Interval: e.Interval,
+		CPU:      e.Series(trace.CPUUtilPercent),
+		Mem:      e.Series(trace.MemUtilPercent),
+		Disk:     e.Series(trace.DiskIOPercent),
+	}
+}
+
+// Format renders a compact text summary (sampled rows).
+func (f Fig1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1: utilization of container %s (every %d samples)\n", f.ID, len(f.CPU)/20+1)
+	fmt.Fprintf(&b, "%8s %8s %8s %8s\n", "t", "cpu%", "mem%", "disk%")
+	step := len(f.CPU)/20 + 1
+	for t := 0; t < len(f.CPU); t += step {
+		fmt.Fprintf(&b, "%8d %8.2f %8.2f %8.2f\n", t, f.CPU[t], f.Mem[t], f.Disk[t])
+	}
+	return b.String()
+}
+
+// Fig2Result carries the per-window boxplot statistics of the fleet's
+// average CPU utilization (Fig. 2): one boxplot per 6-hour window plus the
+// window means (the red line of the figure).
+type Fig2Result struct {
+	WindowSamples int // samples per 6h window
+	Boxes         []stats.BoxplotStats
+}
+
+// RunFig2 regenerates Fig. 2. Each window's sample set is the per-machine
+// mean CPU utilization within that window, normalized to [0,1] like the
+// paper's y-axis.
+func RunFig2(o Options) Fig2Result {
+	o = o.withDefaults()
+	fleet := trace.Generate(trace.GeneratorConfig{
+		Entities: o.Entities, Kind: trace.Machine, Samples: o.Samples, Seed: o.Seed + 42,
+	})
+	win := windowSamples(fleet[0].Interval, o.Samples)
+	var boxes []stats.BoxplotStats
+	for lo := 0; lo+win <= o.Samples; lo += win {
+		vals := make([]float64, 0, len(fleet))
+		for _, e := range fleet {
+			vals = append(vals, stats.Mean(e.Series(trace.CPUUtilPercent)[lo:lo+win])/100)
+		}
+		boxes = append(boxes, stats.Boxplot(vals))
+	}
+	return Fig2Result{WindowSamples: win, Boxes: boxes}
+}
+
+// windowSamples returns the number of samples in a 6-hour window, capped
+// so that short (test-scale) traces still produce several windows.
+func windowSamples(interval, total int) int {
+	win := 6 * 3600 / interval
+	if win > total/8 {
+		win = total / 8
+	}
+	if win < 1 {
+		win = 1
+	}
+	return win
+}
+
+// Format renders one row per window.
+func (f Fig2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2: fleet CPU utilization boxplots per %d-sample window\n", f.WindowSamples)
+	fmt.Fprintf(&b, "%4s %7s %7s %7s %7s %7s %7s\n", "win", "min", "q1", "median", "q3", "max", "mean")
+	for i, bx := range f.Boxes {
+		fmt.Fprintf(&b, "%4d %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+			i, bx.Min, bx.Q1, bx.Median, bx.Q3, bx.Max, bx.Mean)
+	}
+	return b.String()
+}
+
+// Fig3Result carries the fraction of machines under 50% CPU per window
+// (Fig. 3).
+type Fig3Result struct {
+	WindowSamples  int
+	FractionUnder  []float64
+	OverallAverage float64
+}
+
+// RunFig3 regenerates Fig. 3: for each window, the percentage of machines
+// whose mean CPU utilization in the window is below 50%.
+func RunFig3(o Options) Fig3Result {
+	o = o.withDefaults()
+	fleet := trace.Generate(trace.GeneratorConfig{
+		Entities: o.Entities, Kind: trace.Machine, Samples: o.Samples, Seed: o.Seed + 42,
+	})
+	win := windowSamples(fleet[0].Interval, o.Samples)
+	var fracs []float64
+	for lo := 0; lo+win <= o.Samples; lo += win {
+		means := make([]float64, 0, len(fleet))
+		for _, e := range fleet {
+			means = append(means, stats.Mean(e.Series(trace.CPUUtilPercent)[lo:lo+win]))
+		}
+		fracs = append(fracs, stats.FractionBelow(means, 50))
+	}
+	return Fig3Result{
+		WindowSamples:  win,
+		FractionUnder:  fracs,
+		OverallAverage: stats.Mean(fracs),
+	}
+}
+
+// Format renders the per-window fractions.
+func (f Fig3Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3: %% machines under 50%% CPU (avg %.1f%%)\n", f.OverallAverage*100)
+	for i, v := range f.FractionUnder {
+		fmt.Fprintf(&b, "win %3d: %5.1f%%\n", i, v*100)
+	}
+	return b.String()
+}
+
+// Fig7Result carries the indicator correlation analysis of Fig. 7.
+type Fig7Result struct {
+	EntityID string
+	Names    []string
+	Matrix   [][]float64 // PCC matrix in indicator order
+	TopFour  []string    // most CPU-correlated indicators (excluding CPU)
+}
+
+// RunFig7 regenerates Fig. 7: the Pearson correlation matrix of the eight
+// indicators on one container, and the top-four CPU-correlated indicators
+// used as the Mul-Exp feature set (the paper finds cpu, mpki, cpi,
+// mem_gps).
+func RunFig7(o Options) Fig7Result {
+	o = o.withDefaults()
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: o.Samples, Seed: o.Seed + 43,
+	})[0]
+	series := dataprep.Clean(e.Matrix())
+	m := dataprep.CorrelationMatrix(series)
+	names := make([]string, trace.NumIndicators)
+	for i, ind := range trace.AllIndicators() {
+		names[i] = ind.String()
+	}
+	idx := dataprep.ScreenTopK(series, int(trace.CPUUtilPercent), 4)
+	top := make([]string, 0, 4)
+	for _, i := range idx {
+		top = append(top, trace.Indicator(i).String())
+	}
+	return Fig7Result{EntityID: e.ID, Names: names, Matrix: m, TopFour: top}
+}
+
+// Format renders the matrix as a heatmap-style table.
+func (f Fig7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7: indicator correlation on %s\n", f.EntityID)
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, n := range f.Names {
+		fmt.Fprintf(&b, "%8.7s", n)
+	}
+	b.WriteString("\n")
+	for i, row := range f.Matrix {
+		fmt.Fprintf(&b, "%-18s", f.Names[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%8.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Top-4 CPU-correlated: %s\n", strings.Join(f.TopFour, ", "))
+	return b.String()
+}

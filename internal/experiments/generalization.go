@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// GeneralizationResult measures the paper's Sec. V-C generalization claim:
+// the same RPTCN configuration (architecture + hyperparameters, no
+// per-entity tuning) is trained on several different entities of both
+// kinds and must deliver consistent accuracy on each — "the model has good
+// generalization and can be widely used in similar resource prediction
+// scenarios".
+type GeneralizationResult struct {
+	PerEntity []EntityReport
+	// Spread is max(MSE)/min(MSE) across entities of the same kind; a
+	// small spread indicates the configuration transfers without tuning.
+	ContainerSpread float64
+	MachineSpread   float64
+}
+
+// EntityReport pairs an entity with its held-out test accuracy.
+type EntityReport struct {
+	EntityID string
+	Kind     trace.EntityKind
+	Report   metrics.Report
+}
+
+// RunGeneralization trains one RPTCN (Mul-Exp, fixed configuration) per
+// entity on `others`+1 containers and the same number of machines, and
+// reports per-entity held-out accuracy.
+func RunGeneralization(o Options, others int) (*GeneralizationResult, error) {
+	o = o.withDefaults()
+	if others < 1 {
+		others = 3
+	}
+	res := &GeneralizationResult{}
+	for _, kind := range []trace.EntityKind{trace.Container, trace.Machine} {
+		fleet := trace.Generate(trace.GeneratorConfig{
+			Entities: others + 1, Kind: kind, Samples: o.Samples, Seed: o.Seed + 45 + uint64(kind),
+		})
+		lo, hi := 0.0, 0.0
+		for i, e := range fleet {
+			p := core.NewPredictor(core.PredictorConfig{
+				Scenario:     core.MulExp,
+				Window:       o.Window,
+				Horizon:      o.Horizon,
+				ExpandFactor: o.ExpandFactor,
+				Epochs:       o.Epochs,
+				LearningRate: 2e-3,
+				Seed:         o.Seed + uint64(i)*17,
+				Model:        baseRPTCNConfig(),
+			})
+			if err := p.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+				return nil, fmt.Errorf("generalization on %s: %w", e.ID, err)
+			}
+			rep, err := p.TestMetrics()
+			if err != nil {
+				return nil, err
+			}
+			res.PerEntity = append(res.PerEntity, EntityReport{EntityID: e.ID, Kind: kind, Report: rep})
+			if i == 0 || rep.MSE < lo {
+				lo = rep.MSE
+			}
+			if i == 0 || rep.MSE > hi {
+				hi = rep.MSE
+			}
+		}
+		spread := 0.0
+		if lo > 0 {
+			spread = hi / lo
+		}
+		if kind == trace.Container {
+			res.ContainerSpread = spread
+		} else {
+			res.MachineSpread = spread
+		}
+	}
+	return res, nil
+}
+
+// Format renders per-entity accuracy and the spread summary.
+func (g *GeneralizationResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Generalization: one fixed RPTCN configuration trained per entity (Mul-Exp)\n")
+	fmt.Fprintf(&b, "%-10s %-14s %12s %12s\n", "kind", "entity", "MSE", "MAE")
+	for _, r := range g.PerEntity {
+		fmt.Fprintf(&b, "%-10s %-14s %12.5f %12.5f\n", r.Kind, r.EntityID, r.Report.MSE, r.Report.MAE)
+	}
+	fmt.Fprintf(&b, "MSE spread (max/min): containers %.2fx, machines %.2fx\n",
+		g.ContainerSpread, g.MachineSpread)
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/naive"
+	"repro/internal/trace"
+)
+
+// NaiveComparison pits RPTCN against the classical reference forecasters
+// every prediction study should be measured against (persistence, drift,
+// moving average, EWMA, Holt) plus ARIMA, all under the same one-step
+// rolling evaluation on the same held-out segment. The paper omits these
+// baselines; a persistence-competitive model on 10-second resource data is
+// a meaningful bar.
+type NaiveComparison struct {
+	Kind    trace.EntityKind
+	Order   []string
+	Results map[string]metrics.Report
+}
+
+// RunNaiveComparison evaluates the reference forecasters and RPTCN
+// (Mul-Exp) on one entity of the given kind.
+func RunNaiveComparison(o Options, kind trace.EntityKind) (*NaiveComparison, error) {
+	o = o.withDefaults()
+	entity := Generate1(kind, o)
+	p, err := prepareScenario(entity, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	out := &NaiveComparison{Kind: kind, Results: map[string]metrics.Report{}}
+
+	// The normalized target series aligned with the test truth.
+	firstTarget := p.tr.Len() + p.va.Len() + o.Window
+	history := p.targetSeries[:firstTarget]
+	actuals := p.targetSeries[firstTarget : firstTarget+len(p.testTruth)]
+
+	forecasters := []struct {
+		name string
+		f    naive.Forecaster
+	}{
+		{"persistence", &naive.Persistence{}},
+		{"drift", &naive.Drift{}},
+		{"moving-avg(6)", &naive.MovingAverage{Window: 6}},
+		{"ewma(0.5)", &naive.EWMA{Alpha: 0.5}},
+		{"holt", &naive.Holt{Alpha: 0.7, Beta: 0.1}},
+	}
+	for _, fc := range forecasters {
+		if err := fc.f.Fit(history); err != nil {
+			return nil, fmt.Errorf("naive %s: %w", fc.name, err)
+		}
+		preds := naive.RollingForecast(fc.f, actuals)
+		out.Order = append(out.Order, fc.name)
+		out.Results[fc.name] = metrics.Evaluate(p.testTruth, preds)
+	}
+
+	arimaRes := runARIMA(p, o)
+	out.Order = append(out.Order, "ARIMA(2,0,1)")
+	out.Results["ARIMA(2,0,1)"] = arimaRes.Report
+
+	rptcn := runDeep(ModelRPTCN, p, o, o.Seed+991)
+	out.Order = append(out.Order, "RPTCN")
+	out.Results["RPTCN"] = rptcn.Report
+	return out, nil
+}
+
+// Format renders the comparison.
+func (n *NaiveComparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reference forecasters vs RPTCN (%ss, one-step, normalized scale)\n", n.Kind)
+	fmt.Fprintf(&b, "%-14s %12s %12s\n", "model", "MSE", "MAE")
+	for _, k := range n.Order {
+		r := n.Results[k]
+		fmt.Fprintf(&b, "%-14s %12.5f %12.5f\n", k, r.MSE, r.MAE)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Table II, Figs. 1–3 and 7–10) on the synthetic Alibaba-like
+// trace substrate. Each experiment has a Go function returning structured
+// results, a text formatter producing paper-style rows, and a benchmark
+// hook in the repository root's bench_test.go.
+package experiments
+
+// Options controls the scale of every experiment. The zero value is the
+// full-fidelity configuration; Fast() returns a reduced configuration for
+// benchmarks and smoke tests.
+type Options struct {
+	Seed uint64
+	// Samples is the series length per entity (paper: 8 days @ 10s ≈ 69k;
+	// default here 2500 to keep CPU training tractable).
+	Samples int
+	// Entities is the fleet size for the characterization figures.
+	Entities int
+	// Window is the model input length L.
+	Window int
+	// Horizon is the forecast length k.
+	Horizon int
+	// ExpandFactor is the Mul-Exp horizontal expansion factor.
+	ExpandFactor int
+	// Epochs bounds deep-model training (early stopping may end sooner).
+	Epochs int
+	// Rounds is the XGBoost boosting round count.
+	Rounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 2500
+	}
+	if o.Entities == 0 {
+		o.Entities = 60
+	}
+	if o.Window == 0 {
+		o.Window = 32
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 1
+	}
+	if o.ExpandFactor == 0 {
+		o.ExpandFactor = 3
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 50
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 120
+	}
+	return o
+}
+
+// Fast returns a reduced configuration (short series, few epochs) that
+// exercises every code path in seconds. Use it for benchmarks and tests;
+// absolute metric values will be noisier than the full run.
+func Fast(seed uint64) Options {
+	return Options{
+		Seed:     seed,
+		Samples:  700,
+		Entities: 12,
+		Window:   16,
+		Epochs:   6,
+		Rounds:   40,
+	}
+}

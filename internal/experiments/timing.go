@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// TimingRow reports the cost of one RPTCN configuration: parameter count,
+// time per training epoch, and per-window inference latency — the study
+// the paper's Sec. V-C proposes as future work ("explore the influence of
+// TCNs parameters on the running time of this model ... apply the model to
+// the real-time resource usage prediction").
+type TimingRow struct {
+	Label          string
+	Params         int
+	ReceptiveField int
+	EpochTime      time.Duration
+	InferLatency   time.Duration
+}
+
+// TimingStudy is the collection of measured configurations.
+type TimingStudy struct {
+	Rows []TimingRow
+}
+
+// RunTimingStudy measures training and inference cost across kernel sizes,
+// dilation depths, and channel widths on a fixed synthetic workload.
+func RunTimingStudy(o Options) (*TimingStudy, error) {
+	o = o.withDefaults()
+	e := Generate1(trace.Container, o)
+	p, err := prepareScenario(e, core.MulExp, o)
+	if err != nil {
+		return nil, err
+	}
+	study := &TimingStudy{}
+	type variant struct {
+		label    string
+		channels []int
+		kernel   int
+	}
+	variants := []variant{
+		{"k=2, 3 blocks x16", []int{16, 16, 16}, 2},
+		{"k=3, 3 blocks x16", []int{16, 16, 16}, 3},
+		{"k=5, 3 blocks x16", []int{16, 16, 16}, 5},
+		{"k=3, 1 block  x16", []int{16}, 3},
+		{"k=3, 4 blocks x16", []int{16, 16, 16, 16}, 3},
+		{"k=3, 3 blocks x32", []int{32, 32, 32}, 3},
+	}
+	for vi, v := range variants {
+		m := core.NewModel(tensor.NewRNG(o.Seed+uint64(vi)), core.Config{
+			InChannels: p.channels,
+			Channels:   v.channels,
+			KernelSize: v.kernel,
+			Dropout:    0.1,
+			WeightNorm: true,
+			FCWidth:    32,
+			Horizon:    o.Horizon,
+		})
+		row := TimingRow{
+			Label:          v.label,
+			Params:         nn.ParamCount(m),
+			ReceptiveField: m.ReceptiveField(),
+		}
+		// One timed training epoch.
+		cfg := deepTrainConfig(o, o.Seed)
+		cfg.Epochs = 1
+		cfg.Patience = 0
+		start := time.Now()
+		train.Fit(m, p.tr, p.va, cfg)
+		row.EpochTime = time.Since(start)
+		// Inference latency on a single window, averaged.
+		x := p.te.Subset(0, 1)
+		const reps = 50
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			m.Forward(x.X, false)
+		}
+		row.InferLatency = time.Since(start) / reps
+		study.Rows = append(study.Rows, row)
+	}
+	return study, nil
+}
+
+// Format renders the timing table.
+func (s *TimingStudy) Format() string {
+	var b strings.Builder
+	b.WriteString("Timing study: RPTCN parameters vs training/inference cost (future work, Sec. V-C)\n")
+	fmt.Fprintf(&b, "%-20s %10s %6s %14s %14s\n", "variant", "params", "rf", "epoch time", "infer/window")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-20s %10d %6d %14s %14s\n",
+			r.Label, r.Params, r.ReceptiveField,
+			r.EpochTime.Round(time.Millisecond), r.InferLatency.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package gbt
+
+import "sort"
+
+// FeatureImportance summarizes how much each feature contributed to the
+// ensemble, XGBoost-style. Gain is the total split gain attributed to the
+// feature; Cover counts how many splits used it.
+type FeatureImportance struct {
+	Feature int
+	Gain    float64
+	Cover   int
+}
+
+// Importance returns per-feature importance sorted by descending gain.
+// Features that were never split on are omitted.
+func (m *Model) Importance() []FeatureImportance {
+	gain := map[int]float64{}
+	cover := map[int]int{}
+	for _, t := range m.trees {
+		walkImportance(t, gain, cover)
+	}
+	out := make([]FeatureImportance, 0, len(gain))
+	for f, g := range gain {
+		out = append(out, FeatureImportance{Feature: f, Gain: g, Cover: cover[f]})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Gain != out[b].Gain {
+			return out[a].Gain > out[b].Gain
+		}
+		return out[a].Feature < out[b].Feature
+	})
+	return out
+}
+
+func walkImportance(n *node, gain map[int]float64, cover map[int]int) {
+	if n == nil || n.leaf {
+		return
+	}
+	gain[n.feature] += n.gain
+	cover[n.feature]++
+	walkImportance(n.left, gain, cover)
+	walkImportance(n.right, gain, cover)
+}

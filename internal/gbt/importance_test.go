@@ -1,0 +1,75 @@
+package gbt
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestImportanceIdentifiesSignalFeature(t *testing.T) {
+	// y depends only on feature 1; features 0 and 2 are noise.
+	r := tensor.NewRNG(1)
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+		y[i] = 5 * X[i][1]
+	}
+	m, err := Fit(X, y, Config{Rounds: 30, MaxDepth: 3, LearningRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.Importance()
+	if len(imp) == 0 {
+		t.Fatal("no importance entries")
+	}
+	if imp[0].Feature != 1 {
+		t.Fatalf("top feature = %d, want 1 (importances: %+v)", imp[0].Feature, imp)
+	}
+	// The signal feature should dominate total gain.
+	total := 0.0
+	for _, fi := range imp {
+		total += fi.Gain
+	}
+	if imp[0].Gain < 0.9*total {
+		t.Fatalf("signal feature gain share = %g, want > 0.9", imp[0].Gain/total)
+	}
+	if imp[0].Cover <= 0 {
+		t.Fatal("cover not counted")
+	}
+}
+
+func TestImportanceSortedDescending(t *testing.T) {
+	r := tensor.NewRNG(2)
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{r.Float64(), r.Float64()}
+		y[i] = 3*X[i][0] + X[i][1]
+	}
+	m, err := Fit(X, y, Config{Rounds: 40, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.Importance()
+	for i := 1; i < len(imp); i++ {
+		if imp[i].Gain > imp[i-1].Gain {
+			t.Fatal("importance not sorted by gain")
+		}
+	}
+}
+
+func TestImportanceEmptyForStumps(t *testing.T) {
+	// With γ huge no splits happen: importance must be empty.
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	m, err := Fit(X, y, Config{Rounds: 5, Gamma: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := m.Importance(); len(imp) != 0 {
+		t.Fatalf("stump ensemble importance = %+v", imp)
+	}
+}

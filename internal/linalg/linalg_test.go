@@ -1,0 +1,298 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.Data[5] != 5 {
+		t.Fatal("row-major Set/At broken")
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone must copy")
+	}
+}
+
+func TestMatrixFromSliceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatrixFromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestMulKnown(t *testing.T) {
+	a := MatrixFromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := MatrixFromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := a.Mul(b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := MatrixFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatrixFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 0) != 3 || at.At(1, 1) != 5 {
+		t.Fatalf("T = %v", at.Data)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := MatrixFromSlice([]float64{2, -1, 0, 3}, 2, 2)
+	if got := Identity(2).Mul(a); !slicesApproxEq(got.Data, a.Data, 0) {
+		t.Fatalf("I·A = %v", got.Data)
+	}
+}
+
+func slicesApproxEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !approxEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	// A symmetric positive-definite matrix.
+	a := MatrixFromSlice([]float64{
+		4, 12, -16,
+		12, 37, -43,
+		-16, -43, 98,
+	}, 3, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := l.Mul(l.T())
+	if !slicesApproxEq(recon.Data, a.Data, 1e-9) {
+		t.Fatalf("L·Lᵀ = %v, want %v", recon.Data, a.Data)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := MatrixFromSlice([]float64{1, 2, 2, 1}, 2, 2) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := MatrixFromSlice([]float64{4, 2, 2, 3}, 2, 2)
+	b := []float64{10, 9}
+	x, err := SolveCholesky(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.MulVec(x)
+	if !slicesApproxEq(got, b, 1e-10) {
+		t.Fatalf("A·x = %v, want %v", got, b)
+	}
+}
+
+func TestQROrthonormalAndReconstruct(t *testing.T) {
+	a := MatrixFromSlice([]float64{
+		1, 2,
+		3, 4,
+		5, 6,
+		7, 9,
+	}, 4, 2)
+	q, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QᵀQ = I.
+	qtq := q.T().Mul(q)
+	if !slicesApproxEq(qtq.Data, Identity(2).Data, 1e-10) {
+		t.Fatalf("QᵀQ = %v", qtq.Data)
+	}
+	// Q·R = A.
+	recon := q.Mul(r)
+	if !slicesApproxEq(recon.Data, a.Data, 1e-10) {
+		t.Fatalf("QR = %v, want %v", recon.Data, a.Data)
+	}
+	// R upper triangular.
+	if r.At(1, 0) != 0 {
+		t.Fatalf("R not upper triangular: %v", r.Data)
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system: least squares equals the exact solution.
+	a := MatrixFromSlice([]float64{2, 1, 1, 3}, 2, 2)
+	b := []float64{5, 10}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slicesApproxEq(a.MulVec(x), b, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 with noise-free data; the LS solution must recover it.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1
+	}
+	coef, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(coef[0], 2, 1e-10) || !approxEq(coef[1], 1, 1e-10) {
+		t.Fatalf("coef = %v, want [2 1]", coef)
+	}
+}
+
+func TestSolveLeastSquaresResidualOrthogonal(t *testing.T) {
+	// Property of LS: the residual is orthogonal to the column space.
+	a := MatrixFromSlice([]float64{
+		1, 0,
+		1, 1,
+		1, 2,
+		1, 3,
+	}, 4, 2)
+	b := []float64{1, 3, 2, 5}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := a.MulVec(x)
+	res := make([]float64, len(b))
+	for i := range b {
+		res[i] = b[i] - fit[i]
+	}
+	proj := a.T().MulVec(res)
+	for _, v := range proj {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("Aᵀr = %v, want ~0", proj)
+		}
+	}
+}
+
+func TestSolveToeplitzAgainstCholesky(t *testing.T) {
+	// Build a symmetric positive-definite Toeplitz system and compare
+	// Levinson–Durbin with a dense Cholesky solve.
+	r := []float64{1, 0.6, 0.3, 0.1}
+	b := []float64{1, 2, 3, 4}
+	n := len(b)
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			dense.Set(i, j, r[d])
+		}
+	}
+	want, err := SolveCholesky(dense, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveToeplitz(r, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slicesApproxEq(got, want, 1e-8) {
+		t.Fatalf("Toeplitz solve = %v, want %v", got, want)
+	}
+}
+
+func TestSolveToeplitzSingular(t *testing.T) {
+	if _, err := SolveToeplitz([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("expected error for zero diagonal")
+	}
+}
+
+// Property: for random SPD systems, SolveCholesky returns x with A·x ≈ b.
+func TestPropertySolveCholeskyResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		n := 3 + int(rng.next()%4)
+		// A = MᵀM + I is SPD.
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.norm()
+		}
+		a := m.T().Mul(m)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.norm()
+		}
+		x, err := SolveCholesky(a, b)
+		if err != nil {
+			return false
+		}
+		got := a.MulVec(x)
+		return slicesApproxEq(got, b, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Minimal local RNG so this package does not depend on internal/tensor.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return &testRNG{s: seed}
+}
+
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+func (r *testRNG) uniform() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *testRNG) norm() float64 {
+	u1 := r.uniform()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := r.uniform()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

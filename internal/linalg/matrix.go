@@ -1,0 +1,104 @@
+// Package linalg provides the dense linear-algebra routines used by the
+// statistical baselines (ARIMA, Yule–Walker, ordinary least squares).
+// It is independent of the tensor package so that statistical code does not
+// pull in the neural-network stack.
+package linalg
+
+import "fmt"
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix dimensions %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// MatrixFromSlice wraps data (not copied) as an r×c matrix.
+func MatrixFromSlice(data []float64, r, c int) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("linalg: data length %d != %d×%d", len(data), r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %d×%d by %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(p)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m × v for a vector v of length m.Cols.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec length %d != cols %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

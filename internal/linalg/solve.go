@@ -1,0 +1,235 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a system is singular or numerically
+// unsolvable at working precision.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix. It returns ErrSingular if A is not
+// positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, j, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b for symmetric positive-definite A using the
+// Cholesky factorization.
+func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, errors.New("linalg: SolveCholesky length mismatch")
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// QR computes the thin QR decomposition of an m×n matrix (m ≥ n) using
+// Householder reflections: A = Q·R with Q m×n orthonormal and R n×n upper
+// triangular.
+func QR(a *Matrix) (q, r *Matrix, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	// Work on a copy; accumulate Householder vectors in-place.
+	work := a.Clone()
+	vs := make([][]float64, n) // Householder vectors
+	for k := 0; k < n; k++ {
+		// Compute the norm of the k-th column below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += work.At(i, k) * work.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, nil, ErrSingular
+		}
+		alpha := -math.Copysign(norm, work.At(k, k))
+		v := make([]float64, m)
+		v[k] = work.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i] = work.At(i, k)
+		}
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			return nil, nil, ErrSingular
+		}
+		vs[k] = v
+		// Apply reflector to remaining columns.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * work.At(i, j)
+			}
+			c := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-c*v[i])
+			}
+		}
+	}
+	r = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Build thin Q by applying the reflectors to the first n columns of I.
+	q = NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		col[j] = 1
+		for k := n - 1; k >= 0; k-- {
+			v := vs[k]
+			vnorm2 := 0.0
+			dot := 0.0
+			for i := k; i < m; i++ {
+				vnorm2 += v[i] * v[i]
+				dot += v[i] * col[i]
+			}
+			c := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				col[i] -= c * v[i]
+			}
+		}
+		for i := 0; i < m; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+	return q, r, nil
+}
+
+// SolveLeastSquares returns x minimizing ‖A·x − b‖₂ via QR decomposition.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, errors.New("linalg: SolveLeastSquares length mismatch")
+	}
+	q, r, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Cols
+	// y = Qᵀ b.
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < a.Rows; i++ {
+			s += q.At(i, j) * b[i]
+		}
+		y[j] = s
+	}
+	// Back substitution on R x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= r.At(i, k) * x[k]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveToeplitz solves the symmetric Toeplitz system T·x = b where T is
+// defined by its first row r (the Levinson–Durbin recursion). It is used by
+// the Yule–Walker equations for AR start values.
+func SolveToeplitz(r, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(r) < n {
+		return nil, errors.New("linalg: SolveToeplitz needs len(r) >= len(b)")
+	}
+	if r[0] == 0 {
+		return nil, ErrSingular
+	}
+	x := make([]float64, n)
+	// Forward vector for the Levinson recursion.
+	f := make([]float64, n)
+	f[0] = 1 / r[0]
+	x[0] = b[0] / r[0]
+	for k := 1; k < n; k++ {
+		// epsilon_f = sum r[k-i]*f[i] over i in [0,k)
+		ef := 0.0
+		for i := 0; i < k; i++ {
+			ef += r[k-i] * f[i]
+		}
+		denom := 1 - ef*ef
+		if denom == 0 {
+			return nil, ErrSingular
+		}
+		// Update forward vector (symmetric Toeplitz: backward = reversed forward).
+		newF := make([]float64, k+1)
+		for i := 0; i <= k; i++ {
+			var fi, bi float64
+			if i < k {
+				fi = f[i]
+			}
+			if i > 0 {
+				bi = f[k-i] // backward vector entry
+			}
+			newF[i] = (fi - ef*bi) / denom
+		}
+		f = newF
+		// epsilon_x = sum r[k-i]*x[i]
+		ex := 0.0
+		for i := 0; i < k; i++ {
+			ex += r[k-i] * x[i]
+		}
+		// x update with backward vector (reverse of f).
+		for i := 0; i <= k; i++ {
+			x[i] += (b[k] - ex) * f[k-i]
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,99 @@
+// Package metrics implements the evaluation metrics of the paper
+// (MSE, eq. 9; MAE, eq. 10) plus the common companions RMSE, MAPE and R².
+package metrics
+
+import "math"
+
+// MSE returns the mean squared error between truth y and prediction yhat.
+// Only the common prefix of the two slices is compared; it returns NaN for
+// empty input.
+func MSE(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := y[i] - yhat[i]
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// MAE returns the mean absolute error.
+func MAE(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += math.Abs(y[i] - yhat[i])
+	}
+	return s / float64(n)
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(y, yhat []float64) float64 { return math.Sqrt(MSE(y, yhat)) }
+
+// MAPE returns the mean absolute percentage error in percent, skipping
+// points where the truth is zero (they would divide by zero). It returns
+// NaN if every point is skipped.
+func MAPE(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	s, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		if y[i] == 0 {
+			continue
+		}
+		s += math.Abs((y[i] - yhat[i]) / y[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return 100 * s / float64(cnt)
+}
+
+// R2 returns the coefficient of determination. A constant truth series
+// yields NaN (undefined).
+func R2(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	if n == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for i := 0; i < n; i++ {
+		mean += y[i]
+	}
+	mean /= float64(n)
+	ssRes, ssTot := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		d := y[i] - yhat[i]
+		ssRes += d * d
+		m := y[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+func minLen(a, b []float64) int {
+	if len(a) < len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// Report bundles the two paper metrics for one evaluation.
+type Report struct {
+	MSE float64
+	MAE float64
+}
+
+// Evaluate computes a Report for (y, yhat).
+func Evaluate(y, yhat []float64) Report {
+	return Report{MSE: MSE(y, yhat), MAE: MAE(y, yhat)}
+}

@@ -1,0 +1,81 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BiLSTM runs one LSTM forward in time and one backward, concatenates the
+// two final hidden states, and projects them to the horizon — the
+// bidirectional baseline of Gupta & Dinesh (the paper's reference [41]).
+// Over a fully observed input window this is causal: both directions only
+// see past samples relative to the prediction time.
+type BiLSTM struct {
+	fwd *nn.LSTM
+	bwd *nn.LSTM
+	rev nn.ReverseTime
+	out *nn.Dense
+
+	hidden int
+}
+
+// BiLSTMConfig configures the bidirectional baseline.
+type BiLSTMConfig struct {
+	InChannels int
+	Hidden     int // per direction
+	Horizon    int
+}
+
+// NewBiLSTM builds the model.
+func NewBiLSTM(r *tensor.RNG, cfg BiLSTMConfig) *BiLSTM {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 32
+	}
+	return &BiLSTM{
+		fwd:    nn.NewLSTM(r, cfg.InChannels, cfg.Hidden, false),
+		bwd:    nn.NewLSTM(r, cfg.InChannels, cfg.Hidden, false),
+		out:    nn.NewDense(r, 2*cfg.Hidden, cfg.Horizon),
+		hidden: cfg.Hidden,
+	}
+}
+
+// Forward implements nn.Layer.
+func (m *BiLSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	hf := m.fwd.Forward(x, train)
+	hb := m.bwd.Forward(m.rev.Forward(x, train), train)
+	return m.out.Forward(nn.Concat2D(hf, hb), train)
+}
+
+// Backward implements nn.Layer.
+func (m *BiLSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := m.out.Backward(grad)
+	gf, gb := nn.SplitGrad2D(g, m.hidden)
+	dx := m.fwd.Backward(gf)
+	dxRev := m.bwd.Backward(gb)
+	return dx.AddInPlace(m.rev.Backward(dxRev))
+}
+
+// Params implements nn.Layer.
+func (m *BiLSTM) Params() []*nn.Param {
+	ps := append(m.fwd.Params(), m.bwd.Params()...)
+	return append(ps, m.out.Params()...)
+}
+
+// GRUConfig configures the GRU baseline (architecture exploration beyond
+// the paper).
+type GRUConfig struct {
+	InChannels int
+	Hidden     int
+	Horizon    int
+}
+
+// NewGRU builds GRU → Dense(horizon).
+func NewGRU(r *tensor.RNG, cfg GRUConfig) nn.Layer {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 32
+	}
+	return nn.NewSequential(
+		nn.NewGRU(r, cfg.InChannels, cfg.Hidden, false),
+		nn.NewDense(r, cfg.Hidden, cfg.Horizon),
+	)
+}

@@ -1,0 +1,59 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestBiLSTMShapes(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := NewBiLSTM(r, BiLSTMConfig{InChannels: 3, Hidden: 4, Horizon: 2})
+	shapesOK(t, m, tensor.RandN(r, 5, 3, 8), 2)
+}
+
+func TestBiLSTMGradients(t *testing.T) {
+	r := tensor.NewRNG(2)
+	m := NewBiLSTM(r, BiLSTMConfig{InChannels: 2, Hidden: 3, Horizon: 1})
+	x := tensor.RandN(r, 2, 2, 6)
+	err, detail := nn.GradCheck(m, x, 3, 1e-6)
+	if err > 1e-5 {
+		t.Fatalf("BiLSTM gradient check failed: relerr=%g at %s", err, detail)
+	}
+}
+
+func TestBiLSTMParamCount(t *testing.T) {
+	r := tensor.NewRNG(3)
+	m := NewBiLSTM(r, BiLSTMConfig{InChannels: 2, Hidden: 4, Horizon: 1})
+	// Two LSTMs (Wx [16,2] + Wh [16,4] + B [16]) + Dense (8→1 + 1 bias).
+	want := 2*(16*2+16*4+16) + 8 + 1
+	if got := nn.ParamCount(m); got != want {
+		t.Fatalf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+func TestGRUModelShapesAndGradients(t *testing.T) {
+	r := tensor.NewRNG(4)
+	m := NewGRU(r, GRUConfig{InChannels: 2, Hidden: 4, Horizon: 2})
+	shapesOK(t, m, tensor.RandN(r, 3, 2, 7), 2)
+	err, detail := nn.GradCheck(m, tensor.RandN(r, 2, 2, 5), 5, 1e-6)
+	if err > 1e-5 {
+		t.Fatalf("GRU model gradient check failed: relerr=%g at %s", err, detail)
+	}
+}
+
+func TestBiLSTMUsesBothDirections(t *testing.T) {
+	// Perturbing the FIRST time step must change the output (the backward
+	// direction sees it last, the forward direction first — either way the
+	// model must be sensitive to it).
+	r := tensor.NewRNG(5)
+	m := NewBiLSTM(r, BiLSTMConfig{InChannels: 1, Hidden: 3, Horizon: 1})
+	x := tensor.RandN(r, 1, 1, 6)
+	y1 := m.Forward(x, false).At(0, 0)
+	x.Set(x.At(0, 0, 0)+5, 0, 0, 0)
+	y2 := m.Forward(x, false).At(0, 0)
+	if y1 == y2 {
+		t.Fatal("BiLSTM insensitive to first time step")
+	}
+}

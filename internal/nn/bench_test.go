@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkCausalConv1DForward(b *testing.B) {
+	r := tensor.NewRNG(1)
+	c := NewCausalConv1D(r, 12, 16, 3, 2, true)
+	x := tensor.RandN(r, 32, 12, 32)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, false)
+	}
+}
+
+func BenchmarkCausalConv1DBackward(b *testing.B) {
+	r := tensor.NewRNG(2)
+	c := NewCausalConv1D(r, 12, 16, 3, 2, true)
+	x := tensor.RandN(r, 32, 12, 32)
+	y := c.Forward(x, true)
+	g := tensor.RandN(r, y.Shape()...)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(c)
+		c.Backward(g)
+	}
+}
+
+func BenchmarkTemporalBlockForwardBackward(b *testing.B) {
+	r := tensor.NewRNG(3)
+	blk := NewTemporalBlock(r, TemporalBlockConfig{
+		InChannels: 12, OutChannels: 16, KernelSize: 3, Dilation: 2, Dropout: 0.1, WeightNorm: true,
+	})
+	x := tensor.RandN(r, 32, 12, 32)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(blk)
+		y := blk.Forward(x, true)
+		blk.Backward(y)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	r := tensor.NewRNG(4)
+	l := NewLSTM(r, 12, 32, false)
+	x := tensor.RandN(r, 32, 12, 32)
+	g := tensor.RandN(r, 32, 32)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(l)
+		l.Forward(x, true)
+		l.Backward(g)
+	}
+}
+
+func BenchmarkGRUForwardBackward(b *testing.B) {
+	r := tensor.NewRNG(5)
+	l := NewGRU(r, 12, 32, false)
+	x := tensor.RandN(r, 32, 12, 32)
+	g := tensor.RandN(r, 32, 32)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(l)
+		l.Forward(x, true)
+		l.Backward(g)
+	}
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	r := tensor.NewRNG(6)
+	d := NewDense(r, 64, 64)
+	x := tensor.RandN(r, 128, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x, false)
+	}
+}
+
+func BenchmarkFeatureAttentionForwardBackward(b *testing.B) {
+	r := tensor.NewRNG(7)
+	a := NewFeatureAttention(r, 64)
+	x := tensor.RandN(r, 128, 64)
+	g := tensor.RandN(r, 128, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(a)
+		a.Forward(x, true)
+		a.Backward(g)
+	}
+}

@@ -1,0 +1,163 @@
+package nn
+
+import "repro/internal/tensor"
+
+// TemporalBlock is the residual block of the TCN (Fig. 6 of the paper):
+// two weight-normalized dilated causal convolutions, each followed by ReLU
+// and spatial dropout, plus a residual connection (with a 1×1 convolution
+// when channel counts differ) and a final activation:
+//
+//	o = ReLU(x + F(x))   (eq. 5)
+type TemporalBlock struct {
+	conv1, conv2 *CausalConv1D
+	relu1, relu2 ReLU
+	drop1, drop2 *SpatialDropout1D
+	downsample   *CausalConv1D // 1×1 conv; nil when in == out channels
+	finalReLU    ReLU
+}
+
+// TemporalBlockConfig holds the hyperparameters of one block.
+type TemporalBlockConfig struct {
+	InChannels  int
+	OutChannels int
+	KernelSize  int
+	Dilation    int
+	Dropout     float64
+	WeightNorm  bool
+}
+
+// NewTemporalBlock constructs the block.
+func NewTemporalBlock(r *tensor.RNG, cfg TemporalBlockConfig) *TemporalBlock {
+	b := &TemporalBlock{
+		conv1: NewCausalConv1D(r, cfg.InChannels, cfg.OutChannels, cfg.KernelSize, cfg.Dilation, cfg.WeightNorm),
+		conv2: NewCausalConv1D(r, cfg.OutChannels, cfg.OutChannels, cfg.KernelSize, cfg.Dilation, cfg.WeightNorm),
+		drop1: NewSpatialDropout1D(r, cfg.Dropout),
+		drop2: NewSpatialDropout1D(r, cfg.Dropout),
+	}
+	if cfg.InChannels != cfg.OutChannels {
+		b.downsample = NewCausalConv1D(r, cfg.InChannels, cfg.OutChannels, 1, 1, false)
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *TemporalBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := b.conv1.Forward(x, train)
+	h = b.relu1.Forward(h, train)
+	h = b.drop1.Forward(h, train)
+	h = b.conv2.Forward(h, train)
+	h = b.relu2.Forward(h, train)
+	h = b.drop2.Forward(h, train)
+	res := x
+	if b.downsample != nil {
+		res = b.downsample.Forward(x, train)
+	}
+	return b.finalReLU.Forward(h.Add(res), train)
+}
+
+// Backward implements Layer.
+func (b *TemporalBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := b.finalReLU.Backward(grad)
+	// Branch F(x).
+	gf := b.drop2.Backward(g)
+	gf = b.relu2.Backward(gf)
+	gf = b.conv2.Backward(gf)
+	gf = b.drop1.Backward(gf)
+	gf = b.relu1.Backward(gf)
+	dx := b.conv1.Backward(gf)
+	// Residual branch.
+	if b.downsample != nil {
+		dx.AddInPlace(b.downsample.Backward(g))
+	} else {
+		dx.AddInPlace(g)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *TemporalBlock) Params() []*Param {
+	ps := append(b.conv1.Params(), b.conv2.Params()...)
+	if b.downsample != nil {
+		ps = append(ps, b.downsample.Params()...)
+	}
+	return ps
+}
+
+// ReceptiveField returns the past horizon covered by the block's two
+// convolutions: 2·(K−1)·d + 1 samples.
+func (b *TemporalBlock) ReceptiveField() int {
+	return b.conv1.ReceptiveField() + b.conv2.ReceptiveField() - 1
+}
+
+// TCN stacks temporal blocks with exponentially growing dilations
+// (1, 2, 4, ... by default), the standard architecture of Bai et al. that
+// RPTCN extends.
+type TCN struct {
+	Blocks []*TemporalBlock
+}
+
+// TCNConfig configures a TCN stack.
+type TCNConfig struct {
+	InChannels int
+	Channels   []int // output channels per block
+	KernelSize int
+	Dilations  []int // one per block; defaults to 1,2,4,... when nil
+	Dropout    float64
+	WeightNorm bool
+}
+
+// NewTCN builds the stack.
+func NewTCN(r *tensor.RNG, cfg TCNConfig) *TCN {
+	t := &TCN{}
+	in := cfg.InChannels
+	for i, out := range cfg.Channels {
+		d := 1 << i
+		if cfg.Dilations != nil {
+			d = cfg.Dilations[i]
+		}
+		t.Blocks = append(t.Blocks, NewTemporalBlock(r, TemporalBlockConfig{
+			InChannels:  in,
+			OutChannels: out,
+			KernelSize:  cfg.KernelSize,
+			Dilation:    d,
+			Dropout:     cfg.Dropout,
+			WeightNorm:  cfg.WeightNorm,
+		}))
+		in = out
+	}
+	return t
+}
+
+// Forward implements Layer.
+func (t *TCN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, b := range t.Blocks {
+		x = b.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (t *TCN) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(t.Blocks) - 1; i >= 0; i-- {
+		grad = t.Blocks[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (t *TCN) Params() []*Param {
+	var ps []*Param
+	for _, b := range t.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// ReceptiveField returns the total past horizon of the stack.
+func (t *TCN) ReceptiveField() int {
+	rf := 1
+	for _, b := range t.Blocks {
+		rf += b.ReceptiveField() - 1
+	}
+	return rf
+}

@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CausalConv1D is a dilated causal 1-D convolution (the paper's eq. 3–4).
+// Input and output have layout [batch, channels, time]; the output length
+// equals the input length thanks to left zero-padding of (K−1)·d samples,
+// so no future sample ever influences the present (causality).
+//
+// With weight normalization enabled (as in the paper's residual blocks,
+// Fig. 6) the effective kernel is W = g · V/‖V‖, where the norm is taken
+// per output channel; g and V are the trainable parameters.
+type CausalConv1D struct {
+	InChannels  int
+	OutChannels int
+	KernelSize  int
+	Dilation    int
+	WeightNorm  bool
+
+	// Direct parameterization (WeightNorm == false).
+	W *Param // [out, in, k]
+	// Weight-normalized parameterization (WeightNorm == true).
+	V *Param // [out, in, k] direction
+	G *Param // [out] magnitude
+	B *Param // [out] bias
+
+	x       *tensor.Tensor // cached input
+	wEff    *tensor.Tensor // effective kernel used in the last forward
+	vNorms  []float64      // per-output-channel ‖V‖ from the last forward
+	padLeft int
+}
+
+// NewCausalConv1D builds the layer with He-normal initialization
+// (fan-in = inChannels·kernelSize, matching the ReLU blocks it feeds).
+func NewCausalConv1D(r *tensor.RNG, in, out, kernel, dilation int, weightNorm bool) *CausalConv1D {
+	if kernel < 1 || dilation < 1 {
+		panic(fmt.Sprintf("nn: invalid conv kernel=%d dilation=%d", kernel, dilation))
+	}
+	c := &CausalConv1D{
+		InChannels:  in,
+		OutChannels: out,
+		KernelSize:  kernel,
+		Dilation:    dilation,
+		WeightNorm:  weightNorm,
+		B:           NewParam("conv.B", tensor.New(out)),
+		padLeft:     (kernel - 1) * dilation,
+	}
+	w := HeNormal(r, in*kernel, out, in, kernel)
+	if weightNorm {
+		// Initialize g to the norms of the He-initialized kernel so that the
+		// effective weights at step 0 equal the plain initialization.
+		c.V = NewParam("conv.V", w)
+		g := tensor.New(out)
+		for co := 0; co < out; co++ {
+			g.Data[co] = kernelNorm(w, co, in, kernel)
+		}
+		c.G = NewParam("conv.G", g)
+	} else {
+		c.W = NewParam("conv.W", w)
+	}
+	return c
+}
+
+// kernelNorm returns ‖V[co]‖₂ over the (in, k) slice for output channel co.
+func kernelNorm(v *tensor.Tensor, co, in, k int) float64 {
+	base := co * in * k
+	s := 0.0
+	for i := 0; i < in*k; i++ {
+		x := v.Data[base+i]
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// effectiveKernel computes W from (V, g) under weight normalization, or
+// returns the direct W.
+func (c *CausalConv1D) effectiveKernel() *tensor.Tensor {
+	if !c.WeightNorm {
+		return c.W.Value
+	}
+	in, k, out := c.InChannels, c.KernelSize, c.OutChannels
+	w := tensor.New(out, in, k)
+	if cap(c.vNorms) < out {
+		c.vNorms = make([]float64, out)
+	}
+	c.vNorms = c.vNorms[:out]
+	for co := 0; co < out; co++ {
+		n := kernelNorm(c.V.Value, co, in, k)
+		if n < 1e-12 {
+			n = 1e-12
+		}
+		c.vNorms[co] = n
+		scale := c.G.Value.Data[co] / n
+		base := co * in * k
+		for i := 0; i < in*k; i++ {
+			w.Data[base+i] = c.V.Value.Data[base+i] * scale
+		}
+	}
+	return w
+}
+
+// Forward implements Layer.
+func (c *CausalConv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("nn: CausalConv1D requires [batch, channels, time], got %v", x.Shape()))
+	}
+	if x.Dim(1) != c.InChannels {
+		panic(fmt.Sprintf("nn: CausalConv1D channel mismatch: input %d, layer %d", x.Dim(1), c.InChannels))
+	}
+	c.x = x
+	w := c.effectiveKernel()
+	c.wEff = w
+	b, t := x.Dim(0), x.Dim(2)
+	in, out, k, d := c.InChannels, c.OutChannels, c.KernelSize, c.Dilation
+	y := tensor.New(b, out, t)
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*in*t : (bi+1)*in*t]
+		yb := y.Data[bi*out*t : (bi+1)*out*t]
+		for co := 0; co < out; co++ {
+			yrow := yb[co*t : (co+1)*t]
+			bias := c.B.Value.Data[co]
+			for i := range yrow {
+				yrow[i] = bias
+			}
+			for ci := 0; ci < in; ci++ {
+				xrow := xb[ci*t : (ci+1)*t]
+				wrow := w.Data[(co*in+ci)*k : (co*in+ci)*k+k]
+				for kk := 0; kk < k; kk++ {
+					wv := wrow[kk]
+					if wv == 0 {
+						continue
+					}
+					// Tap offset from the present: (K−1−kk)·d samples back.
+					off := (k - 1 - kk) * d
+					for tt := off; tt < t; tt++ {
+						yrow[tt] += wv * xrow[tt-off]
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *CausalConv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	b, t := x.Dim(0), x.Dim(2)
+	in, out, k, d := c.InChannels, c.OutChannels, c.KernelSize, c.Dilation
+	w := c.wEff
+	dW := tensor.New(out, in, k)
+	dx := tensor.New(b, in, t)
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*in*t : (bi+1)*in*t]
+		gb := grad.Data[bi*out*t : (bi+1)*out*t]
+		dxb := dx.Data[bi*in*t : (bi+1)*in*t]
+		for co := 0; co < out; co++ {
+			grow := gb[co*t : (co+1)*t]
+			// Bias gradient.
+			s := 0.0
+			for _, g := range grow {
+				s += g
+			}
+			c.B.Grad.Data[co] += s
+			for ci := 0; ci < in; ci++ {
+				xrow := xb[ci*t : (ci+1)*t]
+				dxrow := dxb[ci*t : (ci+1)*t]
+				wrow := w.Data[(co*in+ci)*k : (co*in+ci)*k+k]
+				dwrow := dW.Data[(co*in+ci)*k : (co*in+ci)*k+k]
+				for kk := 0; kk < k; kk++ {
+					off := (k - 1 - kk) * d
+					wv := wrow[kk]
+					acc := 0.0
+					for tt := off; tt < t; tt++ {
+						g := grow[tt]
+						acc += g * xrow[tt-off]
+						dxrow[tt-off] += g * wv
+					}
+					dwrow[kk] += acc
+				}
+			}
+		}
+	}
+	c.accumulateKernelGrad(dW)
+	return dx
+}
+
+// accumulateKernelGrad routes the gradient w.r.t. the effective kernel into
+// either W directly or through the weight-normalization reparameterization.
+func (c *CausalConv1D) accumulateKernelGrad(dW *tensor.Tensor) {
+	if !c.WeightNorm {
+		c.W.Grad.AddInPlace(dW)
+		return
+	}
+	in, k, out := c.InChannels, c.KernelSize, c.OutChannels
+	per := in * k
+	for co := 0; co < out; co++ {
+		base := co * per
+		n := c.vNorms[co]
+		g := c.G.Value.Data[co]
+		// dg = dW · (V/‖V‖)
+		dot := 0.0
+		for i := 0; i < per; i++ {
+			dot += dW.Data[base+i] * c.V.Value.Data[base+i]
+		}
+		dg := dot / n
+		c.G.Grad.Data[co] += dg
+		// dV = g/‖V‖ · dW − g·(dW·V)/‖V‖³ · V
+		a := g / n
+		bcoef := g * dot / (n * n * n)
+		for i := 0; i < per; i++ {
+			c.V.Grad.Data[base+i] += a*dW.Data[base+i] - bcoef*c.V.Value.Data[base+i]
+		}
+	}
+}
+
+// Params implements Layer.
+func (c *CausalConv1D) Params() []*Param {
+	if c.WeightNorm {
+		return []*Param{c.V, c.G, c.B}
+	}
+	return []*Param{c.W, c.B}
+}
+
+// ReceptiveField returns the number of past samples (including the current
+// one) that influence one output sample: (K−1)·d + 1.
+func (c *CausalConv1D) ReceptiveField() int {
+	return (c.KernelSize-1)*c.Dilation + 1
+}

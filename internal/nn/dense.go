@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b (the paper's eq. 6).
+// Input is [batch, in]; output is [batch, out].
+type Dense struct {
+	W *Param // [out, in]
+	B *Param // [out]
+
+	x *tensor.Tensor // cached input for the backward pass
+}
+
+// NewDense creates a Dense layer with Xavier-uniform weights.
+func NewDense(r *tensor.RNG, in, out int) *Dense {
+	return &Dense{
+		W: NewParam("dense.W", XavierUniform(r, in, out, out, in)),
+		B: NewParam("dense.B", tensor.New(out)),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("nn: Dense requires [batch, features], got %v", x.Shape()))
+	}
+	d.x = x
+	return x.MatMulT(d.W.Value).AddRowVector(d.B.Value)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW = gradᵀ · x ;  db = column sums of grad ;  dx = grad · W.
+	d.W.Grad.AddInPlace(grad.TMatMul(d.x))
+	d.B.Grad.AddInPlace(grad.SumRows())
+	return grad.MatMul(d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes each element independently with probability P during
+// training and rescales survivors by 1/(1−P) (inverted dropout), so
+// inference needs no correction.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []float64
+}
+
+// NewDropout builds a Dropout layer with its own random stream.
+func NewDropout(r *tensor.RNG, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %g out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: r.Split()}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float64, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	keep := 1 / (1 - d.P)
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			out.Data[i] = v * keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		out.Data[i] = g * d.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// SpatialDropout1D zeroes entire channels of a [batch, channels, time]
+// tensor with probability P — the regularizer the TCN paper (and Fig. 6 of
+// RPTCN) uses inside residual blocks, where adjacent time steps are highly
+// correlated and elementwise dropout would be ineffective.
+type SpatialDropout1D struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []float64 // per (batch, channel) keep-scale
+	dims [3]int
+}
+
+// NewSpatialDropout1D builds the layer with its own random stream.
+func NewSpatialDropout1D(r *tensor.RNG, p float64) *SpatialDropout1D {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %g out of [0,1)", p))
+	}
+	return &SpatialDropout1D{P: p, rng: r.Split()}
+}
+
+// Forward implements Layer.
+func (d *SpatialDropout1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("nn: SpatialDropout1D requires [batch, channels, time], got %v", x.Shape()))
+	}
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	b, c, t := x.Dim(0), x.Dim(1), x.Dim(2)
+	d.dims = [3]int{b, c, t}
+	if cap(d.mask) < b*c {
+		d.mask = make([]float64, b*c)
+	}
+	d.mask = d.mask[:b*c]
+	keep := 1 / (1 - d.P)
+	out := tensor.New(b, c, t)
+	for bc := 0; bc < b*c; bc++ {
+		if d.rng.Float64() < d.P {
+			d.mask[bc] = 0
+			continue
+		}
+		d.mask[bc] = keep
+		for tt := 0; tt < t; tt++ {
+			out.Data[bc*t+tt] = x.Data[bc*t+tt] * keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *SpatialDropout1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	b, c, t := d.dims[0], d.dims[1], d.dims[2]
+	out := tensor.New(b, c, t)
+	for bc := 0; bc < b*c; bc++ {
+		m := d.mask[bc]
+		if m == 0 {
+			continue
+		}
+		for tt := 0; tt < t; tt++ {
+			out.Data[bc*t+tt] = grad.Data[bc*t+tt] * m
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *SpatialDropout1D) Params() []*Param { return nil }

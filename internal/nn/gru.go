@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GRU is a gated recurrent unit layer (Cho et al. 2014) with full
+// backpropagation through time — a lighter recurrent alternative to LSTM
+// offered for architecture exploration beyond the paper's baselines.
+//
+// Update equations (gate order in the stacked matrices: reset, update,
+// candidate):
+//
+//	r_t = σ(W_r x_t + U_r h_{t−1} + b_r)
+//	z_t = σ(W_z x_t + U_z h_{t−1} + b_z)
+//	ĥ_t = tanh(W_h x_t + U_h (r_t ⊙ h_{t−1}) + b_h)
+//	h_t = (1 − z_t) ⊙ h_{t−1} + z_t ⊙ ĥ_t
+//
+// Input is [batch, features, time]; output is [batch, hidden, time] when
+// ReturnSequences, else the final hidden state [batch, hidden].
+type GRU struct {
+	InFeatures      int
+	Hidden          int
+	ReturnSequences bool
+
+	Wx *Param // [3H, F]
+	Wh *Param // [3H, H]
+	B  *Param // [3H]
+
+	xs    *tensor.Tensor
+	steps []gruStepCache
+}
+
+type gruStepCache struct {
+	x, hPrev   *tensor.Tensor
+	r, z, hCan *tensor.Tensor // reset gate, update gate, candidate
+	rh         *tensor.Tensor // r ⊙ h_{t−1}
+}
+
+// NewGRU builds the layer with Xavier-uniform weights.
+func NewGRU(r *tensor.RNG, inFeatures, hidden int, returnSequences bool) *GRU {
+	return &GRU{
+		InFeatures:      inFeatures,
+		Hidden:          hidden,
+		ReturnSequences: returnSequences,
+		Wx:              NewParam("gru.Wx", XavierUniform(r, inFeatures, hidden, 3*hidden, inFeatures)),
+		Wh:              NewParam("gru.Wh", XavierUniform(r, hidden, hidden, 3*hidden, hidden)),
+		B:               NewParam("gru.B", tensor.New(3*hidden)),
+	}
+}
+
+// Forward implements Layer.
+func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("nn: GRU requires [batch, features, time], got %v", x.Shape()))
+	}
+	if x.Dim(1) != l.InFeatures {
+		panic(fmt.Sprintf("nn: GRU feature mismatch: input %d, layer %d", x.Dim(1), l.InFeatures))
+	}
+	l.xs = x
+	b, T := x.Dim(0), x.Dim(2)
+	H := l.Hidden
+	h := tensor.New(b, H)
+	l.steps = l.steps[:0]
+	var seq *tensor.Tensor
+	if l.ReturnSequences {
+		seq = tensor.New(b, H, T)
+	}
+	for t := 0; t < T; t++ {
+		xt := stepInput(x, t)
+		// Pre-activations for r and z come from x and h directly.
+		zx := xt.MatMulT(l.Wx.Value) // [B, 3H]
+		zh := h.MatMulT(l.Wh.Value)  // [B, 3H]
+		r := tensor.New(b, H)
+		z := tensor.New(b, H)
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < H; j++ {
+				pr := zx.Data[bi*3*H+j] + zh.Data[bi*3*H+j] + l.B.Value.Data[j]
+				pz := zx.Data[bi*3*H+H+j] + zh.Data[bi*3*H+H+j] + l.B.Value.Data[H+j]
+				r.Data[bi*H+j] = sigmoid(pr)
+				z.Data[bi*H+j] = sigmoid(pz)
+			}
+		}
+		rh := r.Mul(h)
+		// Candidate uses U_h (r ⊙ h), which requires a separate matmul with
+		// the candidate block of Wh.
+		hCanPre := tensor.New(b, H)
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < H; j++ {
+				s := zx.Data[bi*3*H+2*H+j] + l.B.Value.Data[2*H+j]
+				base := (2*H + j) * H
+				for k := 0; k < H; k++ {
+					s += l.Wh.Value.Data[base+k] * rh.Data[bi*H+k]
+				}
+				hCanPre.Data[bi*H+j] = s
+			}
+		}
+		hCan := hCanPre.Apply(math.Tanh)
+		hNew := tensor.New(b, H)
+		for i := range hNew.Data {
+			hNew.Data[i] = (1-z.Data[i])*h.Data[i] + z.Data[i]*hCan.Data[i]
+		}
+		l.steps = append(l.steps, gruStepCache{x: xt, hPrev: h, r: r, z: z, hCan: hCan, rh: rh})
+		h = hNew
+		if l.ReturnSequences {
+			for bi := 0; bi < b; bi++ {
+				for j := 0; j < H; j++ {
+					seq.Data[(bi*H+j)*T+t] = h.Data[bi*H+j]
+				}
+			}
+		}
+	}
+	if l.ReturnSequences {
+		return seq
+	}
+	return h
+}
+
+// Backward implements Layer.
+func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.xs
+	b, T := x.Dim(0), x.Dim(2)
+	H, F := l.Hidden, l.InFeatures
+	dx := tensor.New(b, F, T)
+	dh := tensor.New(b, H)
+
+	stepGrad := func(t int) *tensor.Tensor {
+		if !l.ReturnSequences {
+			if t == T-1 {
+				return grad
+			}
+			return nil
+		}
+		g := tensor.New(b, H)
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < H; j++ {
+				g.Data[bi*H+j] = grad.Data[(bi*H+j)*T+t]
+			}
+		}
+		return g
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		if sg := stepGrad(t); sg != nil {
+			dh.AddInPlace(sg)
+		}
+		st := l.steps[t]
+		// h = (1−z)·hPrev + z·hCan
+		dz := tensor.New(b, H)
+		dhCan := tensor.New(b, H)
+		dhPrev := tensor.New(b, H)
+		for i := range dh.Data {
+			dz.Data[i] = dh.Data[i] * (st.hCan.Data[i] - st.hPrev.Data[i])
+			dhCan.Data[i] = dh.Data[i] * st.z.Data[i]
+			dhPrev.Data[i] = dh.Data[i] * (1 - st.z.Data[i])
+		}
+		// Through candidate tanh: pre-activation gradient.
+		dhCanPre := tensor.New(b, H)
+		for i := range dhCan.Data {
+			hc := st.hCan.Data[i]
+			dhCanPre.Data[i] = dhCan.Data[i] * (1 - hc*hc)
+		}
+		// Candidate path: pre = Wx_h x + U_h (r⊙hPrev) + b_h.
+		// d(rh) = U_hᵀ dhCanPre ; dWh (candidate rows) += dhCanPreᵀ rh.
+		dRH := tensor.New(b, H)
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < H; j++ {
+				g := dhCanPre.Data[bi*H+j]
+				if g == 0 {
+					continue
+				}
+				base := (2*H + j) * H
+				for k := 0; k < H; k++ {
+					dRH.Data[bi*H+k] += l.Wh.Value.Data[base+k] * g
+					l.Wh.Grad.Data[base+k] += g * st.rh.Data[bi*H+k]
+				}
+			}
+		}
+		dr := dRH.Mul(st.hPrev)
+		dhPrev.AddInPlace(dRH.Mul(st.r))
+		// Gate pre-activations.
+		drPre := tensor.New(b, H)
+		dzPre := tensor.New(b, H)
+		for i := range dr.Data {
+			rv := st.r.Data[i]
+			zv := st.z.Data[i]
+			drPre.Data[i] = dr.Data[i] * rv * (1 - rv)
+			dzPre.Data[i] = dz.Data[i] * zv * (1 - zv)
+		}
+		// Stack [drPre, dzPre, dhCanPre] as [B, 3H] for the x-side matmuls.
+		dzx := tensor.New(b, 3*H)
+		for bi := 0; bi < b; bi++ {
+			copy(dzx.Data[bi*3*H:bi*3*H+H], drPre.Data[bi*H:(bi+1)*H])
+			copy(dzx.Data[bi*3*H+H:bi*3*H+2*H], dzPre.Data[bi*H:(bi+1)*H])
+			copy(dzx.Data[bi*3*H+2*H:bi*3*H+3*H], dhCanPre.Data[bi*H:(bi+1)*H])
+		}
+		l.Wx.Grad.AddInPlace(dzx.TMatMul(st.x))
+		l.B.Grad.AddInPlace(dzx.SumRows())
+		dxT := dzx.MatMul(l.Wx.Value)
+		for bi := 0; bi < b; bi++ {
+			for fi := 0; fi < F; fi++ {
+				dx.Data[(bi*F+fi)*T+t] = dxT.Data[bi*F+fi]
+			}
+		}
+		// h-side contributions of r and z gates (candidate already handled).
+		dzh := tensor.New(b, 2*H)
+		for bi := 0; bi < b; bi++ {
+			copy(dzh.Data[bi*2*H:bi*2*H+H], drPre.Data[bi*H:(bi+1)*H])
+			copy(dzh.Data[bi*2*H+H:bi*2*H+2*H], dzPre.Data[bi*H:(bi+1)*H])
+		}
+		// Wh gradient for the r/z blocks and the hPrev path.
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < 2*H; j++ {
+				g := dzh.Data[bi*2*H+j]
+				if g == 0 {
+					continue
+				}
+				base := j * H
+				for k := 0; k < H; k++ {
+					l.Wh.Grad.Data[base+k] += g * st.hPrev.Data[bi*H+k]
+					dhPrev.Data[bi*H+k] += g * l.Wh.Value.Data[base+k]
+				}
+			}
+		}
+		dh = dhPrev
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *GRU) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

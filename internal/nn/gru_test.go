@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGRUShapes(t *testing.T) {
+	r := tensor.NewRNG(1)
+	g := NewGRU(r, 3, 5, false)
+	x := tensor.RandN(r, 2, 3, 7)
+	y := g.Forward(x, false)
+	if y.Dim(0) != 2 || y.Dim(1) != 5 {
+		t.Fatalf("GRU final-state shape = %v", y.Shape())
+	}
+	gs := NewGRU(r, 3, 5, true)
+	ys := gs.Forward(x, false)
+	if ys.Dim(0) != 2 || ys.Dim(1) != 5 || ys.Dim(2) != 7 {
+		t.Fatalf("GRU sequence shape = %v", ys.Shape())
+	}
+}
+
+func TestGRUSequenceLastStepMatchesFinalState(t *testing.T) {
+	r := tensor.NewRNG(2)
+	a := NewGRU(r, 2, 3, false)
+	b := &GRU{InFeatures: 2, Hidden: 3, ReturnSequences: true, Wx: a.Wx, Wh: a.Wh, B: a.B}
+	x := tensor.RandN(r, 2, 2, 6)
+	h := a.Forward(x, false)
+	seq := b.Forward(x, false)
+	for bi := 0; bi < 2; bi++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(h.At(bi, j)-seq.At(bi, j, 5)) > 1e-12 {
+				t.Fatal("sequence last step differs from final state")
+			}
+		}
+	}
+}
+
+func TestGRUHiddenStateBounded(t *testing.T) {
+	// h is a convex combination of hPrev (starting at 0) and tanh values,
+	// so |h| <= 1 always.
+	r := tensor.NewRNG(3)
+	g := NewGRU(r, 2, 4, true)
+	x := tensor.RandN(r, 3, 2, 20).ScaleInPlace(5)
+	y := g.Forward(x, false)
+	for _, v := range y.Data {
+		if math.Abs(v) > 1 {
+			t.Fatalf("GRU hidden state out of [-1,1]: %g", v)
+		}
+	}
+}
+
+func TestGRUGradientsLastState(t *testing.T) {
+	r := tensor.NewRNG(4)
+	g := NewGRU(r, 2, 3, false)
+	x := tensor.RandN(r, 2, 2, 5)
+	err, detail := GradCheck(g, x, 5, 1e-6)
+	if err > 1e-5 {
+		t.Fatalf("GRU gradient check failed: relerr=%g at %s", err, detail)
+	}
+}
+
+func TestGRUGradientsSequences(t *testing.T) {
+	r := tensor.NewRNG(6)
+	g := NewGRU(r, 2, 2, true)
+	x := tensor.RandN(r, 2, 2, 4)
+	err, detail := GradCheck(g, x, 7, 1e-6)
+	if err > 1e-5 {
+		t.Fatalf("GRU sequence gradient check failed: relerr=%g at %s", err, detail)
+	}
+}
+
+func TestGRUFeatureMismatchPanics(t *testing.T) {
+	r := tensor.NewRNG(8)
+	g := NewGRU(r, 3, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on feature mismatch")
+		}
+	}()
+	g.Forward(tensor.RandN(r, 1, 2, 4), false)
+}

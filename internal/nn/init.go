@@ -1,0 +1,23 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// XavierUniform fills a new tensor with draws from U[-a, a] where
+// a = sqrt(6/(fanIn+fanOut)) (Glorot & Bengio 2010). Used for tanh/sigmoid
+// layers such as LSTM and attention.
+func XavierUniform(r *tensor.RNG, fanIn, fanOut int, shape ...int) *tensor.Tensor {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return tensor.RandUniform(r, -a, a, shape...)
+}
+
+// HeNormal fills a new tensor with N(0, sqrt(2/fanIn)) draws
+// (He et al. 2015). Used for ReLU layers such as the temporal blocks.
+func HeNormal(r *tensor.RNG, fanIn int, shape ...int) *tensor.Tensor {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t := tensor.RandN(r, shape...)
+	return t.ScaleInPlace(std)
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalizes each sample's feature vector to zero mean and unit
+// variance, then applies a learned affine transform (Ba et al. 2016). It
+// operates on [batch, features] inputs and is offered as an alternative
+// stabilizer to the temporal blocks' weight normalization (ablatable).
+type LayerNorm struct {
+	Gamma *Param // [features] scale
+	Beta  *Param // [features] shift
+	Eps   float64
+
+	x      *tensor.Tensor
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewLayerNorm creates the layer with γ=1, β=0 and ε=1e-5.
+func NewLayerNorm(features int) *LayerNorm {
+	g := tensor.Full(1, features)
+	return &LayerNorm{
+		Gamma: NewParam("ln.Gamma", g),
+		Beta:  NewParam("ln.Beta", tensor.New(features)),
+		Eps:   1e-5,
+	}
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("nn: LayerNorm requires [batch, features], got %v", x.Shape()))
+	}
+	b, f := x.Dim(0), x.Dim(1)
+	if f != l.Gamma.Value.Size() {
+		panic(fmt.Sprintf("nn: LayerNorm feature mismatch: input %d, layer %d", f, l.Gamma.Value.Size()))
+	}
+	l.x = x
+	l.xhat = tensor.New(b, f)
+	if cap(l.invStd) < b {
+		l.invStd = make([]float64, b)
+	}
+	l.invStd = l.invStd[:b]
+	out := tensor.New(b, f)
+	for bi := 0; bi < b; bi++ {
+		row := x.Data[bi*f : (bi+1)*f]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(f)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(f)
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		l.invStd[bi] = inv
+		for j, v := range row {
+			xh := (v - mean) * inv
+			l.xhat.Data[bi*f+j] = xh
+			out.Data[bi*f+j] = xh*l.Gamma.Value.Data[j] + l.Beta.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b, f := grad.Dim(0), grad.Dim(1)
+	dx := tensor.New(b, f)
+	nf := float64(f)
+	for bi := 0; bi < b; bi++ {
+		// dβ += g ; dγ += g·x̂ ; dxhat = g·γ.
+		var sumDxhat, sumDxhatXhat float64
+		dxhat := make([]float64, f)
+		for j := 0; j < f; j++ {
+			g := grad.Data[bi*f+j]
+			xh := l.xhat.Data[bi*f+j]
+			l.Beta.Grad.Data[j] += g
+			l.Gamma.Grad.Data[j] += g * xh
+			d := g * l.Gamma.Value.Data[j]
+			dxhat[j] = d
+			sumDxhat += d
+			sumDxhatXhat += d * xh
+		}
+		inv := l.invStd[bi]
+		for j := 0; j < f; j++ {
+			xh := l.xhat.Data[bi*f+j]
+			dx.Data[bi*f+j] = (inv / nf) * (nf*dxhat[j] - sumDxhat - xh*sumDxhatXhat)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLayerNormNormalizesRows(t *testing.T) {
+	r := tensor.NewRNG(1)
+	ln := NewLayerNorm(16)
+	x := tensor.RandN(r, 4, 16).ScaleInPlace(7)
+	y := ln.Forward(x, false)
+	// With γ=1, β=0 every output row has ~zero mean and ~unit variance.
+	for bi := 0; bi < 4; bi++ {
+		row := y.Data[bi*16 : (bi+1)*16]
+		mean, variance := 0.0, 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 16
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= 16
+		if math.Abs(mean) > 1e-10 {
+			t.Fatalf("row mean = %g", mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("row variance = %g", variance)
+		}
+	}
+}
+
+func TestLayerNormAffine(t *testing.T) {
+	ln := NewLayerNorm(2)
+	ln.Gamma.Value.Data[0] = 3
+	ln.Beta.Value.Data[1] = -5
+	x := tensor.FromSlice([]float64{1, 3}, 1, 2) // normalizes to [-1, 1]
+	y := ln.Forward(x, false)
+	if math.Abs(y.At(0, 0)+3) > 1e-3 || math.Abs(y.At(0, 1)-(1-5)) > 1e-3 {
+		t.Fatalf("affine output = %v", y.Data)
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	r := tensor.NewRNG(2)
+	ln := NewLayerNorm(5)
+	// Randomize the affine params so gradients are nontrivial.
+	ln.Gamma.Value = tensor.RandN(r, 5).ApplyInPlace(func(v float64) float64 { return 1 + 0.3*v })
+	ln.Beta.Value = tensor.RandN(r, 5).ScaleInPlace(0.2)
+	x := tensor.RandN(r, 3, 5)
+	err, detail := GradCheck(ln, x, 3, 1e-6)
+	if err > 1e-5 {
+		t.Fatalf("LayerNorm gradient check failed: relerr=%g at %s", err, detail)
+	}
+}
+
+func TestLayerNormScaleInvariance(t *testing.T) {
+	// LayerNorm output is invariant to positive rescaling of the input row.
+	ln := NewLayerNorm(4)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)
+	y1 := ln.Forward(x, false).Clone()
+	// ε in the variance makes this approximate; the deviation shrinks as
+	// the input scale grows.
+	y2 := ln.Forward(x.Scale(10), false)
+	if !y1.Equal(y2, 1e-4) {
+		t.Fatalf("not scale invariant: %v vs %v", y1.Data, y2.Data)
+	}
+}
+
+func TestLayerNormFeatureMismatchPanics(t *testing.T) {
+	ln := NewLayerNorm(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ln.Forward(tensor.New(1, 4), false)
+}

@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss is a differentiable scalar objective over (prediction, target).
+type Loss interface {
+	// Forward returns the scalar loss.
+	Forward(pred, target *tensor.Tensor) float64
+	// Backward returns dLoss/dPred for the most recent Forward.
+	Backward() *tensor.Tensor
+}
+
+// MSELoss is the mean squared error (eq. 9), the paper's training
+// objective.
+type MSELoss struct {
+	pred, target *tensor.Tensor
+}
+
+// Forward implements Loss.
+func (l *MSELoss) Forward(pred, target *tensor.Tensor) float64 {
+	if !pred.SameShape(target) {
+		panic("nn: MSELoss shape mismatch")
+	}
+	l.pred, l.target = pred, target
+	s := 0.0
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		s += d * d
+	}
+	return s / float64(pred.Size())
+}
+
+// Backward implements Loss.
+func (l *MSELoss) Backward() *tensor.Tensor {
+	n := float64(l.pred.Size())
+	out := tensor.New(l.pred.Shape()...)
+	for i, p := range l.pred.Data {
+		out.Data[i] = 2 * (p - l.target.Data[i]) / n
+	}
+	return out
+}
+
+// MAELoss is the mean absolute error (eq. 10). At zero residual the
+// subgradient 0 is used.
+type MAELoss struct {
+	pred, target *tensor.Tensor
+}
+
+// Forward implements Loss.
+func (l *MAELoss) Forward(pred, target *tensor.Tensor) float64 {
+	if !pred.SameShape(target) {
+		panic("nn: MAELoss shape mismatch")
+	}
+	l.pred, l.target = pred, target
+	s := 0.0
+	for i, p := range pred.Data {
+		s += math.Abs(p - target.Data[i])
+	}
+	return s / float64(pred.Size())
+}
+
+// Backward implements Loss.
+func (l *MAELoss) Backward() *tensor.Tensor {
+	n := float64(l.pred.Size())
+	out := tensor.New(l.pred.Shape()...)
+	for i, p := range l.pred.Data {
+		d := p - l.target.Data[i]
+		switch {
+		case d > 0:
+			out.Data[i] = 1 / n
+		case d < 0:
+			out.Data[i] = -1 / n
+		}
+	}
+	return out
+}
+
+// HuberLoss blends MSE (near zero) and MAE (in the tails); delta sets the
+// crossover. It is offered for robustness experiments beyond the paper.
+type HuberLoss struct {
+	Delta        float64
+	pred, target *tensor.Tensor
+}
+
+// Forward implements Loss.
+func (l *HuberLoss) Forward(pred, target *tensor.Tensor) float64 {
+	if !pred.SameShape(target) {
+		panic("nn: HuberLoss shape mismatch")
+	}
+	if l.Delta <= 0 {
+		l.Delta = 1
+	}
+	l.pred, l.target = pred, target
+	s := 0.0
+	for i, p := range pred.Data {
+		d := math.Abs(p - target.Data[i])
+		if d <= l.Delta {
+			s += 0.5 * d * d
+		} else {
+			s += l.Delta * (d - 0.5*l.Delta)
+		}
+	}
+	return s / float64(pred.Size())
+}
+
+// Backward implements Loss.
+func (l *HuberLoss) Backward() *tensor.Tensor {
+	n := float64(l.pred.Size())
+	out := tensor.New(l.pred.Shape()...)
+	for i, p := range l.pred.Data {
+		d := p - l.target.Data[i]
+		if math.Abs(d) <= l.Delta {
+			out.Data[i] = d / n
+		} else {
+			out.Data[i] = math.Copysign(l.Delta, d) / n
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a standard long short-term memory layer with full
+// backpropagation through time. Input is [batch, features, time]. When
+// ReturnSequences is true the output is [batch, hidden, time]; otherwise it
+// is the final hidden state [batch, hidden].
+//
+// Gate order in the stacked weight matrices is (input, forget, cell,
+// output). The forget-gate bias is initialized to 1, the usual trick to
+// ease gradient flow early in training.
+type LSTM struct {
+	InFeatures      int
+	Hidden          int
+	ReturnSequences bool
+
+	Wx *Param // [4H, F]
+	Wh *Param // [4H, H]
+	B  *Param // [4H]
+
+	// Per-step caches for BPTT.
+	xs          *tensor.Tensor   // input of last forward
+	steps       []lstmStepCache  // one per time step
+	hPrev0      *tensor.Tensor   // zero initial state (kept for shape)
+	lastHiddens []*tensor.Tensor // h_t per step (for ReturnSequences grad routing)
+}
+
+type lstmStepCache struct {
+	x, hPrev, cPrev *tensor.Tensor // inputs to the step
+	i, f, g, o      *tensor.Tensor // gate activations
+	c, tanhC        *tensor.Tensor // cell state and its tanh
+}
+
+// NewLSTM builds the layer with Xavier-uniform weights.
+func NewLSTM(r *tensor.RNG, inFeatures, hidden int, returnSequences bool) *LSTM {
+	l := &LSTM{
+		InFeatures:      inFeatures,
+		Hidden:          hidden,
+		ReturnSequences: returnSequences,
+		Wx:              NewParam("lstm.Wx", XavierUniform(r, inFeatures, hidden, 4*hidden, inFeatures)),
+		Wh:              NewParam("lstm.Wh", XavierUniform(r, hidden, hidden, 4*hidden, hidden)),
+		B:               NewParam("lstm.B", tensor.New(4*hidden)),
+	}
+	// Forget-gate bias = 1.
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.Value.Data[j] = 1
+	}
+	return l
+}
+
+// stepInput extracts time slice t of [batch, features, time] as [batch, features].
+func stepInput(x *tensor.Tensor, t int) *tensor.Tensor {
+	b, f, tt := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(b, f)
+	for bi := 0; bi < b; bi++ {
+		for fi := 0; fi < f; fi++ {
+			out.Data[bi*f+fi] = x.Data[(bi*f+fi)*tt+t]
+		}
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("nn: LSTM requires [batch, features, time], got %v", x.Shape()))
+	}
+	if x.Dim(1) != l.InFeatures {
+		panic(fmt.Sprintf("nn: LSTM feature mismatch: input %d, layer %d", x.Dim(1), l.InFeatures))
+	}
+	l.xs = x
+	b, T := x.Dim(0), x.Dim(2)
+	H := l.Hidden
+	h := tensor.New(b, H)
+	c := tensor.New(b, H)
+	l.hPrev0 = h
+	l.steps = l.steps[:0]
+	l.lastHiddens = l.lastHiddens[:0]
+	var seq *tensor.Tensor
+	if l.ReturnSequences {
+		seq = tensor.New(b, H, T)
+	}
+	for t := 0; t < T; t++ {
+		xt := stepInput(x, t)
+		z := xt.MatMulT(l.Wx.Value).AddInPlace(h.MatMulT(l.Wh.Value)).AddRowVector(l.B.Value)
+		i := tensor.New(b, H)
+		f := tensor.New(b, H)
+		g := tensor.New(b, H)
+		o := tensor.New(b, H)
+		for bi := 0; bi < b; bi++ {
+			zrow := z.Data[bi*4*H : (bi+1)*4*H]
+			for j := 0; j < H; j++ {
+				i.Data[bi*H+j] = sigmoid(zrow[j])
+				f.Data[bi*H+j] = sigmoid(zrow[H+j])
+				g.Data[bi*H+j] = math.Tanh(zrow[2*H+j])
+				o.Data[bi*H+j] = sigmoid(zrow[3*H+j])
+			}
+		}
+		cNew := f.Mul(c).AddInPlace(i.Mul(g))
+		tanhC := cNew.Apply(math.Tanh)
+		hNew := o.Mul(tanhC)
+		l.steps = append(l.steps, lstmStepCache{
+			x: xt, hPrev: h, cPrev: c,
+			i: i, f: f, g: g, o: o,
+			c: cNew, tanhC: tanhC,
+		})
+		h, c = hNew, cNew
+		l.lastHiddens = append(l.lastHiddens, h)
+		if l.ReturnSequences {
+			for bi := 0; bi < b; bi++ {
+				for j := 0; j < H; j++ {
+					seq.Data[(bi*H+j)*T+t] = h.Data[bi*H+j]
+				}
+			}
+		}
+	}
+	if l.ReturnSequences {
+		return seq
+	}
+	return h
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.xs
+	b, T := x.Dim(0), x.Dim(2)
+	H, F := l.Hidden, l.InFeatures
+	dx := tensor.New(b, F, T)
+	dh := tensor.New(b, H)
+	dc := tensor.New(b, H)
+
+	stepGrad := func(t int) *tensor.Tensor {
+		if !l.ReturnSequences {
+			if t == T-1 {
+				return grad
+			}
+			return nil
+		}
+		g := tensor.New(b, H)
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < H; j++ {
+				g.Data[bi*H+j] = grad.Data[(bi*H+j)*T+t]
+			}
+		}
+		return g
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		if sg := stepGrad(t); sg != nil {
+			dh.AddInPlace(sg)
+		}
+		st := l.steps[t]
+		// Through h = o ⊙ tanh(c).
+		do := dh.Mul(st.tanhC)
+		dtanh := dh.Mul(st.o)
+		for k := range dtanh.Data {
+			tc := st.tanhC.Data[k]
+			dc.Data[k] += dtanh.Data[k] * (1 - tc*tc)
+		}
+		di := dc.Mul(st.g)
+		dg := dc.Mul(st.i)
+		df := dc.Mul(st.cPrev)
+		dcPrev := dc.Mul(st.f)
+		// Gate pre-activation gradients, stacked as [B, 4H].
+		dz := tensor.New(b, 4*H)
+		for bi := 0; bi < b; bi++ {
+			for j := 0; j < H; j++ {
+				iv := st.i.Data[bi*H+j]
+				fv := st.f.Data[bi*H+j]
+				gv := st.g.Data[bi*H+j]
+				ov := st.o.Data[bi*H+j]
+				dz.Data[bi*4*H+j] = di.Data[bi*H+j] * iv * (1 - iv)
+				dz.Data[bi*4*H+H+j] = df.Data[bi*H+j] * fv * (1 - fv)
+				dz.Data[bi*4*H+2*H+j] = dg.Data[bi*H+j] * (1 - gv*gv)
+				dz.Data[bi*4*H+3*H+j] = do.Data[bi*H+j] * ov * (1 - ov)
+			}
+		}
+		l.Wx.Grad.AddInPlace(dz.TMatMul(st.x))
+		l.Wh.Grad.AddInPlace(dz.TMatMul(st.hPrev))
+		l.B.Grad.AddInPlace(dz.SumRows())
+		dxT := dz.MatMul(l.Wx.Value) // [B, F]
+		for bi := 0; bi < b; bi++ {
+			for fi := 0; fi < F; fi++ {
+				dx.Data[(bi*F+fi)*T+t] = dxT.Data[bi*F+fi]
+			}
+		}
+		dh = dz.MatMul(l.Wh.Value) // gradient to h_{t−1}
+		dc = dcPrev
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

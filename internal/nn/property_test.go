@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// Property: convolution is linear in its input — conv(a·x + b·y) equals
+// a·conv(x) + b·conv(y) when the bias is zero.
+func TestPropertyConvLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		c := NewCausalConv1D(r, 2, 3, 3, 2, false)
+		c.B.Value.Zero()
+		x := tensor.RandN(r, 1, 2, 10)
+		y := tensor.RandN(r, 1, 2, 10)
+		a, b := 2.0, -0.5
+		lhs := c.Forward(x.Scale(a).AddInPlace(y.Scale(b)), false)
+		rhs := c.Forward(x, false).Scale(a).AddInPlace(c.Forward(y, false).Scale(b))
+		return lhs.Equal(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dense is affine — D(x+y) − D(0) == (D(x) − D(0)) + (D(y) − D(0)).
+func TestPropertyDenseAffine(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		d := NewDense(r, 4, 3)
+		x := tensor.RandN(r, 2, 4)
+		y := tensor.RandN(r, 2, 4)
+		zero := tensor.New(2, 4)
+		d0 := d.Forward(zero, false)
+		lhs := d.Forward(x.Add(y), false).Sub(d0)
+		rhs := d.Forward(x, false).Sub(d0).AddInPlace(d.Forward(y, false).Sub(d0))
+		return lhs.Equal(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forward passes in eval mode are deterministic — two identical
+// calls produce identical outputs for every stochastic layer.
+func TestPropertyEvalDeterminism(t *testing.T) {
+	r := tensor.NewRNG(77)
+	m := NewSequential(
+		NewCausalConv1D(r, 2, 4, 3, 1, true),
+		NewSpatialDropout1D(r, 0.5),
+		&LastStep{},
+		NewDropout(r, 0.5),
+		NewDense(r, 4, 2),
+	)
+	x := tensor.RandN(r, 3, 2, 8)
+	y1 := m.Forward(x, false)
+	y2 := m.Forward(x, false)
+	if !y1.Equal(y2, 0) {
+		t.Fatal("eval-mode forward is not deterministic")
+	}
+}
+
+// Property: gradient accumulation — two Backward calls without ZeroGrad
+// accumulate exactly twice the gradient of one call.
+func TestPropertyGradientAccumulation(t *testing.T) {
+	r := tensor.NewRNG(78)
+	d := NewDense(r, 3, 2)
+	x := tensor.RandN(r, 4, 3)
+	g := tensor.RandN(r, 4, 2)
+	d.Forward(x, true)
+	d.Backward(g)
+	once := d.W.Grad.Clone()
+	d.Forward(x, true)
+	d.Backward(g)
+	twice := d.W.Grad
+	if !twice.Equal(once.Scale(2), 1e-12) {
+		t.Fatal("gradients do not accumulate additively")
+	}
+}
+
+// Property: the TCN output at time t never depends on inputs after t
+// (full-stack causality under random configurations).
+func TestPropertyTCNCausalityRandomConfigs(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		k := 2 + int(r.Uint64()%3)      // kernel 2..4
+		blocks := 1 + int(r.Uint64()%3) // 1..3 blocks
+		channels := make([]int, blocks)
+		for i := range channels {
+			channels[i] = 3
+		}
+		tcn := NewTCN(r, TCNConfig{InChannels: 1, Channels: channels, KernelSize: k, WeightNorm: true})
+		x := tensor.RandN(r, 1, 1, 16)
+		y1 := tcn.Forward(x, false)
+		cut := 8 + int(r.Uint64()%7) // perturb somewhere in [8,15)
+		x2 := x.Clone()
+		x2.Set(x2.At(0, 0, cut)+10, 0, 0, cut)
+		y2 := tcn.Forward(x2, false)
+		for c := 0; c < 3; c++ {
+			for tt := 0; tt < cut; tt++ {
+				if y1.At(0, c, tt) != y2.At(0, c, tt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

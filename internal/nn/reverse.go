@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ReverseTime reverses the time axis of a [batch, channels, time] tensor.
+// It is the building block for bidirectional recurrent models: feed the
+// reversed sequence to a second recurrent layer and combine the outputs.
+type ReverseTime struct{}
+
+func reverseTime(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("nn: ReverseTime requires [batch, channels, time], got %v", x.Shape()))
+	}
+	b, c, t := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(b, c, t)
+	for bc := 0; bc < b*c; bc++ {
+		row := x.Data[bc*t : (bc+1)*t]
+		orow := out.Data[bc*t : (bc+1)*t]
+		for i := 0; i < t; i++ {
+			orow[i] = row[t-1-i]
+		}
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (ReverseTime) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor { return reverseTime(x) }
+
+// Backward implements Layer. Reversal is its own adjoint.
+func (ReverseTime) Backward(grad *tensor.Tensor) *tensor.Tensor { return reverseTime(grad) }
+
+// Params implements Layer.
+func (ReverseTime) Params() []*Param { return nil }
+
+// Concat2D concatenates two [batch, features] tensors along the feature
+// axis. It is a helper for models with parallel branches (e.g. BiLSTM).
+func Concat2D(a, b *tensor.Tensor) *tensor.Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("nn: Concat2D shape mismatch %v vs %v", a.Shape(), b.Shape()))
+	}
+	rows, fa, fb := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := tensor.New(rows, fa+fb)
+	for r := 0; r < rows; r++ {
+		copy(out.Data[r*(fa+fb):], a.Data[r*fa:(r+1)*fa])
+		copy(out.Data[r*(fa+fb)+fa:], b.Data[r*fb:(r+1)*fb])
+	}
+	return out
+}
+
+// SplitGrad2D splits a gradient produced against Concat2D's output back
+// into the two branch gradients.
+func SplitGrad2D(grad *tensor.Tensor, fa int) (ga, gb *tensor.Tensor) {
+	rows, ftot := grad.Dim(0), grad.Dim(1)
+	fb := ftot - fa
+	ga = tensor.New(rows, fa)
+	gb = tensor.New(rows, fb)
+	for r := 0; r < rows; r++ {
+		copy(ga.Data[r*fa:], grad.Data[r*ftot:r*ftot+fa])
+		copy(gb.Data[r*fb:], grad.Data[r*ftot+fa:(r+1)*ftot])
+	}
+	return ga, gb
+}

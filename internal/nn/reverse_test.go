@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestReverseTimeValues(t *testing.T) {
+	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 1, 2, 3)
+	y := ReverseTime{}.Forward(x, false)
+	if y.At(0, 0, 0) != 3 || y.At(0, 0, 2) != 1 || y.At(0, 1, 0) != 6 {
+		t.Fatalf("ReverseTime = %v", y.Data)
+	}
+}
+
+func TestReverseTimeInvolution(t *testing.T) {
+	r := tensor.NewRNG(1)
+	x := tensor.RandN(r, 2, 3, 5)
+	y := ReverseTime{}.Forward(ReverseTime{}.Forward(x, false), false)
+	if !y.Equal(x, 0) {
+		t.Fatal("double reversal must be the identity")
+	}
+}
+
+func TestReverseTimeGradients(t *testing.T) {
+	r := tensor.NewRNG(2)
+	x := tensor.RandN(r, 2, 2, 4)
+	err, detail := GradCheck(ReverseTime{}, x, 3, 1e-6)
+	if err > 1e-8 {
+		t.Fatalf("ReverseTime gradient check failed: relerr=%g at %s", err, detail)
+	}
+}
+
+func TestConcat2DAndSplitGrad2D(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := tensor.FromSlice([]float64{5, 6, 7, 8, 9, 10}, 2, 3)
+	c := Concat2D(a, b)
+	if c.Dim(1) != 5 || c.At(0, 0) != 1 || c.At(0, 2) != 5 || c.At(1, 4) != 10 {
+		t.Fatalf("Concat2D = %v", c.Data)
+	}
+	ga, gb := SplitGrad2D(c, 2)
+	if !ga.Equal(a, 0) || !gb.Equal(b, 0) {
+		t.Fatal("SplitGrad2D does not invert Concat2D")
+	}
+}
+
+func TestConcat2DMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Concat2D(tensor.New(2, 2), tensor.New(3, 2))
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func buildSerModel(seed uint64) *Sequential {
+	r := tensor.NewRNG(seed)
+	return NewSequential(
+		NewCausalConv1D(r, 1, 4, 3, 1, true),
+		&LastStep{},
+		NewDense(r, 4, 8),
+		&Tanh{},
+		NewDense(r, 8, 1),
+	)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := buildSerModel(1)
+	dst := buildSerModel(2) // different weights, same architecture
+	x := tensor.RandN(tensor.NewRNG(3), 2, 1, 10)
+	before := src.Forward(x, false)
+	if dst.Forward(x, false).Equal(before, 1e-9) {
+		t.Fatal("differently-seeded models should disagree before load")
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	after := dst.Forward(x, false)
+	if !after.Equal(before, 0) {
+		t.Fatal("loaded model output differs from saved model")
+	}
+}
+
+func TestLoadParamsRejectsArchitectureMismatch(t *testing.T) {
+	src := buildSerModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(4)
+	wrongCount := NewSequential(NewDense(r, 4, 8))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongCount); err == nil {
+		t.Fatal("expected error for param count mismatch")
+	}
+	wrongShape := NewSequential(
+		NewCausalConv1D(r, 1, 4, 3, 1, true),
+		&LastStep{},
+		NewDense(r, 4, 9), // shape differs
+		&Tanh{},
+		NewDense(r, 9, 1),
+	)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongShape); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func TestLoadParamsRejectsGarbageAndBadFormat(t *testing.T) {
+	m := buildSerModel(1)
+	if err := LoadParams(strings.NewReader("not json"), m); err == nil {
+		t.Fatal("expected error for invalid JSON")
+	}
+	if err := LoadParams(strings.NewReader(`{"format":99,"params":[]}`), m); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestLoadParamsRejectsNameMismatch(t *testing.T) {
+	r := tensor.NewRNG(5)
+	src := NewSequential(NewDense(r, 2, 2))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential(NewDense(r, 2, 2))
+	dst.Params()[0].Name = "renamed"
+	if err := LoadParams(&buf, dst); err == nil {
+		t.Fatal("expected error for name mismatch")
+	}
+}

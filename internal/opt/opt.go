@@ -1,0 +1,204 @@
+// Package opt provides first-order optimizers (SGD, Adam, RMSProp),
+// gradient clipping, and learning-rate schedules for the nn package.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and advances internal state.
+	Step(params []*nn.Param)
+	// LR returns the current base learning rate.
+	LR() float64
+	// SetLR overrides the base learning rate (used by schedulers).
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	Rate     float64
+	Momentum float64
+
+	velocity map[*nn.Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{Rate: lr, Momentum: momentum, velocity: map[*nn.Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i, g := range p.Grad.Data {
+				p.Value.Data[i] -= s.Rate * g
+			}
+			continue
+		}
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, p.Value.Size())
+			s.velocity[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = s.Momentum*v[i] - s.Rate*g
+			p.Value.Data[i] += v[i]
+		}
+	}
+}
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.Rate }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.Rate = lr }
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with bias correction —
+// the optimizer used for all deep models in the experiments, matching the
+// Keras default the paper relies on.
+type Adam struct {
+	Rate    float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*nn.Param][]float64
+	v map[*nn.Param][]float64
+}
+
+// NewAdam returns Adam with the standard defaults β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		Rate: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: map[*nn.Param][]float64{}, v: map[*nn.Param][]float64{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, p.Value.Size())
+			v = make([]float64, p.Value.Size())
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Value.Data[i] -= a.Rate * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+	}
+}
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.Rate }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.Rate = lr }
+
+// RMSProp keeps a running average of squared gradients and normalizes by
+// its square root.
+type RMSProp struct {
+	Rate    float64
+	Decay   float64
+	Epsilon float64
+
+	cache map[*nn.Param][]float64
+}
+
+// NewRMSProp returns RMSProp with decay 0.9 and ε=1e-8.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{Rate: lr, Decay: 0.9, Epsilon: 1e-8, cache: map[*nn.Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (r *RMSProp) Step(params []*nn.Param) {
+	for _, p := range params {
+		c := r.cache[p]
+		if c == nil {
+			c = make([]float64, p.Value.Size())
+			r.cache[p] = c
+		}
+		for i, g := range p.Grad.Data {
+			c[i] = r.Decay*c[i] + (1-r.Decay)*g*g
+			p.Value.Data[i] -= r.Rate * g / (math.Sqrt(c[i]) + r.Epsilon)
+		}
+	}
+}
+
+// LR implements Optimizer.
+func (r *RMSProp) LR() float64 { return r.Rate }
+
+// SetLR implements Optimizer.
+func (r *RMSProp) SetLR(lr float64) { r.Rate = lr }
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm. Essential for stable LSTM
+// training on high-dynamic series.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Schedule maps an epoch index to a learning rate.
+type Schedule interface {
+	Rate(epoch int, base float64) float64
+}
+
+// ConstantSchedule keeps the base rate.
+type ConstantSchedule struct{}
+
+// Rate implements Schedule.
+func (ConstantSchedule) Rate(_ int, base float64) float64 { return base }
+
+// StepSchedule multiplies the rate by Gamma every Every epochs.
+type StepSchedule struct {
+	Every int
+	Gamma float64
+}
+
+// Rate implements Schedule.
+func (s StepSchedule) Rate(epoch int, base float64) float64 {
+	if s.Every <= 0 {
+		return base
+	}
+	return base * math.Pow(s.Gamma, float64(epoch/s.Every))
+}
+
+// ExpSchedule decays the rate exponentially: base·γ^epoch.
+type ExpSchedule struct {
+	Gamma float64
+}
+
+// Rate implements Schedule.
+func (s ExpSchedule) Rate(epoch int, base float64) float64 {
+	return base * math.Pow(s.Gamma, float64(epoch))
+}

@@ -1,0 +1,148 @@
+// Package server exposes a fitted RPTCN predictor over HTTP so a cluster
+// resource manager can query forecasts online — the integration point the
+// paper's Sec. II motivates ("the predictive result can provide support
+// for job scheduling and an effective reference for resource allocation").
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/model     model metadata (scenario, window, screening, size)
+//	POST /v1/forecast  {"indicators": [[...],...]} → {"forecast": [...]}
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// Server routes forecast requests to a fitted predictor. Model layers
+// cache activations during a forward pass, so inference is serialized with
+// a mutex; the handler itself is safe for concurrent use.
+type Server struct {
+	predictor *core.Predictor
+	mux       *http.ServeMux
+
+	inferMu sync.Mutex // guards predictor.ForecastFrom
+}
+
+// New wraps a fitted predictor. It panics if p is nil.
+func New(p *core.Predictor) *Server {
+	if p == nil {
+		panic("server: nil predictor")
+	}
+	s := &Server{predictor: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.HandleFunc("POST /v1/forecast", s.handleForecast)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// ModelInfo is the /v1/model response body.
+type ModelInfo struct {
+	Scenario       string   `json:"scenario"`
+	Window         int      `json:"window"`
+	Horizon        int      `json:"horizon"`
+	ExpandFactor   int      `json:"expand_factor"`
+	Selected       []string `json:"selected_indicators"`
+	ParamCount     int      `json:"param_count"`
+	ReceptiveField int      `json:"receptive_field"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	p := s.predictor
+	info := ModelInfo{
+		Scenario:     p.Cfg.Scenario.String(),
+		Window:       p.Cfg.Window,
+		Horizon:      p.Cfg.Horizon,
+		ExpandFactor: p.Cfg.ExpandFactor,
+	}
+	for _, idx := range p.SelectedIndicators() {
+		info.Selected = append(info.Selected, trace.Indicator(idx).String())
+	}
+	if m := p.Model(); m != nil {
+		info.ParamCount = nn.ParamCount(m)
+		info.ReceptiveField = m.ReceptiveField()
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// ForecastRequest is the /v1/forecast request body: raw indicator history
+// in canonical indicator order, [indicator][time].
+type ForecastRequest struct {
+	Indicators [][]float64 `json:"indicators"`
+}
+
+// ForecastResponse is the /v1/forecast response body.
+type ForecastResponse struct {
+	Forecast []float64 `json:"forecast"`
+	Target   string    `json:"target"`
+	Horizon  int       `json:"horizon"`
+}
+
+// maxBodyBytes bounds request bodies (a window of 8 indicators is tiny;
+// 16 MiB leaves room for long histories without allowing abuse).
+const maxBodyBytes = 16 << 20
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	var req ForecastRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err))
+		return
+	}
+	if len(req.Indicators) == 0 {
+		writeError(w, http.StatusBadRequest, "indicators must be non-empty")
+		return
+	}
+	s.inferMu.Lock()
+	forecast, err := s.predictor.ForecastFrom(req.Indicators)
+	s.inferMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ForecastResponse{
+		Forecast: forecast,
+		Target:   targetName(s.predictor),
+		Horizon:  s.predictor.Cfg.Horizon,
+	})
+}
+
+func targetName(p *core.Predictor) string {
+	sel := p.SelectedIndicators()
+	if len(sel) == 0 {
+		return ""
+	}
+	return trace.Indicator(sel[0]).String()
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing safe to do but log-less drop.
+		_ = err
+	}
+}

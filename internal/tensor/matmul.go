@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements above which MatMul
+// fans work out across goroutines. Below it the sequential kernel is faster.
+const parallelThreshold = 64 * 64
+
+// MatMul returns the matrix product t × u for 2-D tensors, computed with a
+// cache-friendly ikj loop order and parallelized across rows for large
+// outputs.
+func (t *Tensor) MatMul(u *Tensor) *Tensor {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", t.shape, u.shape))
+	}
+	out := New(m, n)
+	if m*n < parallelThreshold {
+		matmulRows(out.Data, t.Data, u.Data, 0, m, k, n)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(out.Data, t.Data, u.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matmulRows computes rows [lo,hi) of out = a×b where a is m×k and b is k×n.
+func matmulRows(out, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns t × uᵀ without materializing the transpose.
+func (t *Tensor) MatMulT(u *Tensor) *Tensor {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: MatMulT requires 2-D tensors")
+	}
+	m, k := t.shape[0], t.shape[1]
+	n, k2 := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v × %vᵀ", t.shape, u.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := t.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := u.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns tᵀ × u without materializing the transpose.
+func (t *Tensor) TMatMul(u *Tensor) *Tensor {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: TMatMul requires 2-D tensors")
+	}
+	k, m := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch %vᵀ × %v", t.shape, u.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := t.Data[p*m : (p+1)*m]
+		brow := u.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product t × v for a 2-D tensor and a
+// 1-D tensor.
+func (t *Tensor) MatVec(v *Tensor) *Tensor {
+	if t.Dims() != 2 || v.Dims() != 1 {
+		panic("tensor: MatVec requires a 2-D tensor and a 1-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	if v.Size() != n {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v × len %d", t.shape, v.Size()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}

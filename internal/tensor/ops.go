@@ -1,0 +1,230 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u elementwise as a new tensor. Shapes must match.
+func (t *Tensor) Add(u *Tensor) *Tensor {
+	t.mustMatch(u, "Add")
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v + u.Data[i]
+	}
+	return out
+}
+
+// Sub returns t - u elementwise as a new tensor. Shapes must match.
+func (t *Tensor) Sub(u *Tensor) *Tensor {
+	t.mustMatch(u, "Sub")
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v - u.Data[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard (elementwise) product t ⊙ u as a new tensor.
+func (t *Tensor) Mul(u *Tensor) *Tensor {
+	t.mustMatch(u, "Mul")
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v * u.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets t = t + u and returns t.
+func (t *Tensor) AddInPlace(u *Tensor) *Tensor {
+	t.mustMatch(u, "AddInPlace")
+	for i, v := range u.Data {
+		t.Data[i] += v
+	}
+	return t
+}
+
+// SubInPlace sets t = t - u and returns t.
+func (t *Tensor) SubInPlace(u *Tensor) *Tensor {
+	t.mustMatch(u, "SubInPlace")
+	for i, v := range u.Data {
+		t.Data[i] -= v
+	}
+	return t
+}
+
+// MulInPlace sets t = t ⊙ u and returns t.
+func (t *Tensor) MulInPlace(u *Tensor) *Tensor {
+	t.mustMatch(u, "MulInPlace")
+	for i, v := range u.Data {
+		t.Data[i] *= v
+	}
+	return t
+}
+
+// Scale returns c*t as a new tensor.
+func (t *Tensor) Scale(c float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = c * v
+	}
+	return out
+}
+
+// ScaleInPlace sets t = c*t and returns t.
+func (t *Tensor) ScaleInPlace(c float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= c
+	}
+	return t
+}
+
+// AXPY sets t = t + a*u and returns t (the BLAS axpy update).
+func (t *Tensor) AXPY(a float64, u *Tensor) *Tensor {
+	t.mustMatch(u, "AXPY")
+	for i, v := range u.Data {
+		t.Data[i] += a * v
+	}
+	return t
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element of t in place and returns t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm of t.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if len(t.Data) != len(u.Data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(t.Data), len(u.Data)))
+	}
+	s := 0.0
+	for i, v := range t.Data {
+		s += v * u.Data[i]
+	}
+	return s
+}
+
+// AddRowVector adds vector v (length = columns) to every row of the 2-D
+// tensor t, returning a new tensor. This is the bias broadcast used by
+// fully connected layers.
+func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: AddRowVector requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if v.Size() != cols {
+		panic(fmt.Sprintf("tensor: AddRowVector vector length %d != cols %d", v.Size(), cols))
+	}
+	out := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			out.Data[base+c] = t.Data[base+c] + v.Data[c]
+		}
+	}
+	return out
+}
+
+// SumRows returns a length-cols vector with the column sums of a 2-D tensor
+// (the reduction matching AddRowVector's broadcast in the backward pass).
+func (t *Tensor) SumRows() *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: SumRows requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			out.Data[c] += t.Data[base+c]
+		}
+	}
+	return out
+}
+
+func (t *Tensor) mustMatch(u *Tensor, op string) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}
+
+// Equal reports whether t and u have the same shape and all elements are
+// within tol of each other.
+func (t *Tensor) Equal(u *Tensor, tol float64) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-u.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+// Package tensor provides dense, row-major float64 tensors and the numeric
+// kernels the neural-network stack is built on. It is deliberately small:
+// shapes are explicit, there is no implicit broadcasting beyond the few
+// documented helpers, and all parallel kernels are deterministic.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tensor is a dense row-major array of float64 with an explicit shape.
+// The zero value is an empty tensor; use the constructors to build one.
+type Tensor struct {
+	shape   []int
+	strides []int
+	Data    []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		Data:    make([]float64, n),
+	}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); it panics if len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		Data:    data,
+	}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = acc
+		acc *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if u.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Index converts a multi-dimensional index into a flat offset.
+func (t *Tensor) Index(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off += ix * t.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.Index(idx...)] }
+
+// Set writes v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.Index(idx...)] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies the data of u into t. Shapes must match.
+func (t *Tensor) CopyFrom(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	copy(t.Data, u.Data)
+}
+
+// Reshape returns a view of t with a new shape covering the same data.
+// The total number of elements must be unchanged.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v (size %d)", t.shape, len(t.Data), shape, n))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		Data:    t.Data,
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *Tensor) String() string {
+	if len(t.Data) <= 32 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.Data)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%g", t.Data[i])
+	}
+	fmt.Fprintf(&b, " ... %d elems]", len(t.Data))
+	return b.String()
+}

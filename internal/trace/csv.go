@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// CSV layout follows the Alibaba v2018 usage tables:
+//
+//	entity_id,time_stamp,cpu_util_percent,mem_util_percent,cpi,mem_gps,mpki,net_in,net_out,disk_io_percent
+//
+// One row per (entity, timestamp); rows for a given entity are emitted in
+// time order. Missing samples are written as empty fields.
+
+// csvHeader is the column header written by WriteCSV and expected (or
+// auto-detected) by ReadCSV.
+var csvHeader = []string{
+	"entity_id", "time_stamp",
+	"cpu_util_percent", "mem_util_percent", "cpi", "mem_gps",
+	"mpki", "net_in", "net_out", "disk_io_percent",
+}
+
+// column order in the CSV for each indicator.
+var csvIndicatorOrder = [NumIndicators]Indicator{
+	CPUUtilPercent, MemUtilPercent, CPI, MemGPS, MPKI, NetIn, NetOut, DiskIOPercent,
+}
+
+// WriteCSV writes the entity series to w in the v2018-style layout.
+func WriteCSV(w io.Writer, entities []*EntitySeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, e := range entities {
+		for t := 0; t < e.Len(); t++ {
+			row[0] = e.ID
+			row[1] = strconv.Itoa(t * e.Interval)
+			for ci, ind := range csvIndicatorOrder {
+				v := e.Metrics[ind][t]
+				if math.IsNaN(v) {
+					row[2+ci] = ""
+				} else {
+					row[2+ci] = strconv.FormatFloat(v, 'g', -1, 64)
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: writing row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a v2018-style usage CSV back into entity series. The
+// kind is assigned to every entity (the CSV does not carry it). Rows may
+// arrive in any order; they are sorted by timestamp per entity. Empty
+// fields become NaN (cleaned later by the dataprep stage).
+func ReadCSV(r io.Reader, kind EntityKind) ([]*EntitySeries, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	start := 0
+	if records[0][0] == csvHeader[0] {
+		start = 1
+	}
+	byEntity := map[string][]sample{}
+	var order []string
+	for li, rec := range records[start:] {
+		ts, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", start+li+1, rec[1])
+		}
+		var s sample
+		s.ts = ts
+		for ci, ind := range csvIndicatorOrder {
+			f := rec[2+ci]
+			if f == "" {
+				s.vals[ind] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad value %q", start+li+1, f)
+			}
+			s.vals[ind] = v
+		}
+		if _, ok := byEntity[rec[0]]; !ok {
+			order = append(order, rec[0])
+		}
+		byEntity[rec[0]] = append(byEntity[rec[0]], s)
+	}
+	var out []*EntitySeries
+	for _, id := range order {
+		samples := byEntity[id]
+		sort.Slice(samples, func(a, b int) bool { return samples[a].ts < samples[b].ts })
+		e := &EntitySeries{ID: id, Kind: kind, Interval: inferInterval(samples)}
+		for i := range e.Metrics {
+			e.Metrics[i] = make([]float64, len(samples))
+		}
+		for t, s := range samples {
+			for i := 0; i < NumIndicators; i++ {
+				e.Metrics[i][t] = s.vals[i]
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// sample is one parsed CSV row.
+type sample struct {
+	ts   int
+	vals [NumIndicators]float64
+}
+
+func inferInterval(samples []sample) int {
+	if len(samples) < 2 {
+		return 10
+	}
+	d := samples[1].ts - samples[0].ts
+	if d <= 0 {
+		return 10
+	}
+	return d
+}

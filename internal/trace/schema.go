@@ -1,0 +1,107 @@
+// Package trace provides the workload substrate for the experiments: a
+// synthetic generator that reproduces the statistical character of the
+// Alibaba cluster trace v2018 (high-dynamic utilization, abrupt mutation
+// points, correlated performance indicators, low average CPU usage), plus
+// CSV readers/writers in the v2018 column layout so a real trace can be
+// substituted without code changes.
+package trace
+
+// Indicator identifies one of the eight performance indicators of the
+// paper's Table I.
+type Indicator int
+
+// The indicators, in the order used throughout the repository.
+const (
+	CPUUtilPercent Indicator = iota // cpu utilization percent
+	MemUtilPercent                  // memory utilization percent
+	CPI                             // cycles per instruction
+	MemGPS                          // normalized memory gigabytes per second
+	MPKI                            // misses per kilo instructions
+	NetIn                           // normalized incoming network traffic
+	NetOut                          // normalized outgoing network traffic
+	DiskIOPercent                   // disk io percent
+
+	NumIndicators = 8
+)
+
+var indicatorNames = [NumIndicators]string{
+	"cpu_util_percent",
+	"mem_util_percent",
+	"cpi",
+	"mem_gps",
+	"mpki",
+	"net_in",
+	"net_out",
+	"disk_io_percent",
+}
+
+// String returns the v2018 column name of the indicator.
+func (i Indicator) String() string {
+	if i < 0 || int(i) >= NumIndicators {
+		return "unknown"
+	}
+	return indicatorNames[i]
+}
+
+// IndicatorByName returns the Indicator for a v2018 column name.
+func IndicatorByName(name string) (Indicator, bool) {
+	for i, n := range indicatorNames {
+		if n == name {
+			return Indicator(i), true
+		}
+	}
+	return 0, false
+}
+
+// AllIndicators lists every indicator in canonical order.
+func AllIndicators() []Indicator {
+	out := make([]Indicator, NumIndicators)
+	for i := range out {
+		out[i] = Indicator(i)
+	}
+	return out
+}
+
+// EntityKind distinguishes the two monitored entity types of the trace.
+type EntityKind int
+
+// Entity kinds.
+const (
+	Machine EntityKind = iota
+	Container
+)
+
+// String returns the kind name.
+func (k EntityKind) String() string {
+	if k == Machine {
+		return "machine"
+	}
+	return "container"
+}
+
+// EntitySeries holds the complete monitoring log of one machine or
+// container: one time series per indicator, sampled at a fixed interval.
+type EntitySeries struct {
+	ID       string
+	Kind     EntityKind
+	Interval int // seconds between samples
+
+	// Metrics[i] is the series for Indicator(i); all have equal length.
+	Metrics [NumIndicators][]float64
+}
+
+// Len returns the number of samples.
+func (e *EntitySeries) Len() int { return len(e.Metrics[0]) }
+
+// Series returns the time series of one indicator.
+func (e *EntitySeries) Series(i Indicator) []float64 { return e.Metrics[i] }
+
+// Matrix returns the indicators as a [NumIndicators][]float64 slice-of-
+// slices view in canonical order (no copy).
+func (e *EntitySeries) Matrix() [][]float64 {
+	out := make([][]float64, NumIndicators)
+	for i := range out {
+		out[i] = e.Metrics[i]
+	}
+	return out
+}

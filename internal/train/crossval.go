@@ -1,0 +1,63 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// CVResult summarizes a rolling-origin cross-validation run.
+type CVResult struct {
+	// FoldLosses[i] is the evaluation loss of fold i.
+	FoldLosses []float64
+	Mean       float64
+	Std        float64
+}
+
+// CrossValidate performs rolling-origin (expanding-window) cross-validation,
+// the correct CV scheme for time series: fold i trains on the first
+// block·(i+1) samples and evaluates on the next block, so evaluation data
+// always lies in the future of its training data.
+//
+// build must return a freshly initialized model on each call and newOpt a
+// fresh optimizer (folds must not share weights or momentum state); the
+// Optimizer field of cfg is ignored. folds must be >= 2.
+func CrossValidate(build func() nn.Layer, newOpt func() opt.Optimizer, d Dataset, folds int, cfg Config) (CVResult, error) {
+	if folds < 2 {
+		return CVResult{}, fmt.Errorf("train: need >= 2 folds, got %d", folds)
+	}
+	n := d.Len()
+	block := n / (folds + 1)
+	if block < 1 {
+		return CVResult{}, fmt.Errorf("train: dataset of %d samples too small for %d folds", n, folds)
+	}
+	cfg.fillDefaults()
+	var res CVResult
+	for i := 0; i < folds; i++ {
+		cut := block * (i + 1)
+		end := cut + block
+		if i == folds-1 {
+			end = n
+		}
+		tr := d.Subset(0, cut)
+		ev := d.Subset(cut, end)
+		model := build()
+		// The evaluation block also drives early stopping: rolling-origin
+		// CV measures the full training protocol, not just the final fit.
+		foldCfg := cfg
+		foldCfg.Optimizer = newOpt()
+		Fit(model, tr, ev, foldCfg)
+		res.FoldLosses = append(res.FoldLosses, EvaluateLoss(model, ev, foldCfg.Loss))
+	}
+	for _, l := range res.FoldLosses {
+		res.Mean += l
+	}
+	res.Mean /= float64(len(res.FoldLosses))
+	for _, l := range res.FoldLosses {
+		res.Std += (l - res.Mean) * (l - res.Mean)
+	}
+	res.Std = math.Sqrt(res.Std / float64(len(res.FoldLosses)))
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+func TestCrossValidateFoldCountAndStats(t *testing.T) {
+	d := sineDataset(240)
+	build := func() nn.Layer {
+		r := tensor.NewRNG(1)
+		return nn.NewSequential(nn.NewDense(r, 1, 8), &nn.Tanh{}, nn.NewDense(r, 8, 1))
+	}
+	newOpt := func() opt.Optimizer { return opt.NewAdam(0.01) }
+	res, err := CrossValidate(build, newOpt, d, 3, Config{Epochs: 30, BatchSize: 16, Shuffle: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldLosses) != 3 {
+		t.Fatalf("folds = %d", len(res.FoldLosses))
+	}
+	sum := 0.0
+	for _, l := range res.FoldLosses {
+		if math.IsNaN(l) || l < 0 {
+			t.Fatalf("bad fold loss %g", l)
+		}
+		sum += l
+	}
+	if math.Abs(res.Mean-sum/3) > 1e-12 {
+		t.Fatalf("Mean = %g, want %g", res.Mean, sum/3)
+	}
+	if res.Std < 0 {
+		t.Fatalf("Std = %g", res.Std)
+	}
+}
+
+func TestCrossValidateLearnsAcrossFolds(t *testing.T) {
+	// On a learnable problem, CV loss should be far below the target
+	// variance (~0.5 for sin over [-1,1] scaled by 3).
+	d := sineDataset(300)
+	build := func() nn.Layer {
+		r := tensor.NewRNG(3)
+		return nn.NewSequential(nn.NewDense(r, 1, 16), &nn.Tanh{}, nn.NewDense(r, 16, 1))
+	}
+	newOpt := func() opt.Optimizer { return opt.NewAdam(0.02) }
+	res, err := CrossValidate(build, newOpt, d, 4, Config{Epochs: 60, BatchSize: 16, Shuffle: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last fold has the most training data and should be decent.
+	last := res.FoldLosses[len(res.FoldLosses)-1]
+	if last > 0.05 {
+		t.Fatalf("last-fold loss %g, want < 0.05", last)
+	}
+}
+
+func TestCrossValidateRejectsBadInput(t *testing.T) {
+	d := sineDataset(10)
+	build := func() nn.Layer { return nn.NewDense(tensor.NewRNG(1), 1, 1) }
+	newOpt := func() opt.Optimizer { return opt.NewSGD(0.1, 0) }
+	if _, err := CrossValidate(build, newOpt, d, 1, Config{}); err == nil {
+		t.Fatal("expected error for folds < 2")
+	}
+	tiny := sineDataset(2)
+	if _, err := CrossValidate(build, newOpt, tiny, 5, Config{}); err == nil {
+		t.Fatal("expected error for too-small dataset")
+	}
+}
+
+func TestCrossValidateFreshModelPerFold(t *testing.T) {
+	d := sineDataset(120)
+	count := 0
+	build := func() nn.Layer {
+		count++
+		return nn.NewDense(tensor.NewRNG(uint64(count)), 1, 1)
+	}
+	newOpt := func() opt.Optimizer { return opt.NewSGD(0.1, 0) }
+	if _, err := CrossValidate(build, newOpt, d, 3, Config{Epochs: 2, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("build called %d times, want 3", count)
+	}
+}

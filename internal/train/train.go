@@ -1,0 +1,285 @@
+// Package train provides the supervised-learning harness used by every
+// deep model in the experiments: mini-batch training with Adam, the
+// paper's chronological 6:2:2 train/validation/test split, early stopping
+// with patience (the Keras EarlyStopping callback the paper configures
+// with patience=10), and per-epoch loss history for the convergence
+// figures (Figs. 9–10).
+package train
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Dataset is a supervised dataset: X has the sample dimension first
+// ([N, features] or [N, channels, time]) and Y is [N, outputs].
+type Dataset struct {
+	X *tensor.Tensor
+	Y *tensor.Tensor
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int {
+	if d.X == nil {
+		return 0
+	}
+	return d.X.Dim(0)
+}
+
+// Subset returns the sample range [lo, hi) as a new dataset (copied).
+func (d Dataset) Subset(lo, hi int) Dataset {
+	return Dataset{X: sliceSamples(d.X, lo, hi), Y: sliceSamples(d.Y, lo, hi)}
+}
+
+// Gather returns the samples at the given indices as a new dataset.
+func (d Dataset) Gather(idx []int) Dataset {
+	return Dataset{X: gatherSamples(d.X, idx), Y: gatherSamples(d.Y, idx)}
+}
+
+func sampleSize(t *tensor.Tensor) int {
+	s := 1
+	for _, dim := range t.Shape()[1:] {
+		s *= dim
+	}
+	return s
+}
+
+func sliceSamples(t *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	per := sampleSize(t)
+	shape := t.Shape()
+	shape[0] = hi - lo
+	out := tensor.New(shape...)
+	copy(out.Data, t.Data[lo*per:hi*per])
+	return out
+}
+
+func gatherSamples(t *tensor.Tensor, idx []int) *tensor.Tensor {
+	per := sampleSize(t)
+	shape := t.Shape()
+	shape[0] = len(idx)
+	out := tensor.New(shape...)
+	for i, j := range idx {
+		copy(out.Data[i*per:(i+1)*per], t.Data[j*per:(j+1)*per])
+	}
+	return out
+}
+
+// Split divides a dataset chronologically into train/validation/test
+// fractions (the paper uses 6:2:2). Fractions must be positive and sum to
+// at most 1; the test set receives the remainder.
+func Split(d Dataset, trainFrac, validFrac float64) (tr, va, te Dataset, err error) {
+	if trainFrac <= 0 || validFrac <= 0 || trainFrac+validFrac >= 1 {
+		return tr, va, te, fmt.Errorf("train: invalid split fractions %g/%g", trainFrac, validFrac)
+	}
+	n := d.Len()
+	nTrain := int(float64(n) * trainFrac)
+	nValid := int(float64(n) * validFrac)
+	if nTrain == 0 || nValid == 0 || nTrain+nValid >= n {
+		return tr, va, te, errors.New("train: dataset too small to split")
+	}
+	return d.Subset(0, nTrain), d.Subset(nTrain, nTrain+nValid), d.Subset(nTrain+nValid, n), nil
+}
+
+// History records per-epoch losses; it backs the convergence figures.
+type History struct {
+	TrainLoss []float64
+	ValidLoss []float64
+	BestEpoch int // epoch index of the best validation loss
+	Stopped   bool
+}
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	Optimizer opt.Optimizer
+	Loss      nn.Loss
+	// Patience is the early-stopping patience in epochs; 0 disables early
+	// stopping. The paper uses 10.
+	Patience int
+	// ClipNorm, when positive, clips the global gradient norm each step.
+	ClipNorm float64
+	// Shuffle controls whether training batches are re-shuffled per epoch.
+	Shuffle bool
+	// Seed seeds the shuffling RNG.
+	Seed uint64
+	// Schedule optionally adjusts the learning rate per epoch.
+	Schedule opt.Schedule
+	// RestoreBest restores the parameter values from the best validation
+	// epoch after training (like Keras restore_best_weights).
+	RestoreBest bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 50
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = opt.NewAdam(1e-3)
+	}
+	if c.Loss == nil {
+		c.Loss = &nn.MSELoss{}
+	}
+	if c.Schedule == nil {
+		c.Schedule = opt.ConstantSchedule{}
+	}
+}
+
+// Fit trains the model on tr, monitoring va for early stopping, and
+// returns the loss history.
+func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
+	cfg.fillDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	hist := &History{BestEpoch: -1}
+	best := math.Inf(1)
+	var bestParams []*tensor.Tensor
+	baseLR := cfg.Optimizer.LR()
+	wait := 0
+
+	n := tr.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.Optimizer.SetLR(cfg.Schedule.Rate(epoch, baseLR))
+		if cfg.Shuffle {
+			order = rng.Perm(n)
+		}
+		epochLoss := 0.0
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			batch := tr.Gather(order[lo:hi])
+			nn.ZeroGrad(model)
+			pred := model.Forward(batch.X, true)
+			l := cfg.Loss.Forward(pred, batch.Y)
+			model.Backward(cfg.Loss.Backward())
+			if cfg.ClipNorm > 0 {
+				opt.ClipGradNorm(model.Params(), cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(model.Params())
+			epochLoss += l
+			batches++
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
+
+		vl := EvaluateLoss(model, va, cfg.Loss)
+		hist.ValidLoss = append(hist.ValidLoss, vl)
+		if vl < best {
+			best = vl
+			hist.BestEpoch = epoch
+			wait = 0
+			if cfg.RestoreBest {
+				bestParams = snapshot(model)
+			}
+		} else if cfg.Patience > 0 {
+			wait++
+			if wait >= cfg.Patience {
+				hist.Stopped = true
+				break
+			}
+		}
+	}
+	cfg.Optimizer.SetLR(baseLR)
+	if cfg.RestoreBest && bestParams != nil {
+		restore(model, bestParams)
+	}
+	return hist
+}
+
+func snapshot(model nn.Layer) []*tensor.Tensor {
+	ps := model.Params()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.Value.Clone()
+	}
+	return out
+}
+
+func restore(model nn.Layer, vals []*tensor.Tensor) {
+	for i, p := range model.Params() {
+		p.Value.CopyFrom(vals[i])
+	}
+}
+
+// EvaluateLoss computes the mean loss of the model over a dataset in
+// evaluation mode (dropout off), batching to bound memory.
+func EvaluateLoss(model nn.Layer, d Dataset, loss nn.Loss) float64 {
+	if d.Len() == 0 {
+		return math.NaN()
+	}
+	const batch = 256
+	total := 0.0
+	count := 0
+	for lo := 0; lo < d.Len(); lo += batch {
+		hi := lo + batch
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		sub := d.Subset(lo, hi)
+		pred := model.Forward(sub.X, false)
+		total += loss.Forward(pred, sub.Y) * float64(hi-lo)
+		count += hi - lo
+	}
+	return total / float64(count)
+}
+
+// Predict runs the model over a dataset in evaluation mode and returns the
+// flat predictions (first output per sample when the model emits several).
+func Predict(model nn.Layer, d Dataset) []float64 {
+	if d.Len() == 0 {
+		return nil
+	}
+	out := make([]float64, 0, d.Len())
+	const batch = 256
+	for lo := 0; lo < d.Len(); lo += batch {
+		hi := lo + batch
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		sub := d.Subset(lo, hi)
+		pred := model.Forward(sub.X, false)
+		per := sampleSize(pred)
+		for i := 0; i < pred.Dim(0); i++ {
+			out = append(out, pred.Data[i*per])
+		}
+	}
+	return out
+}
+
+// PredictAll is Predict but returns every output per sample ([N][K]).
+func PredictAll(model nn.Layer, d Dataset) [][]float64 {
+	if d.Len() == 0 {
+		return nil
+	}
+	var out [][]float64
+	const batch = 256
+	for lo := 0; lo < d.Len(); lo += batch {
+		hi := lo + batch
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		sub := d.Subset(lo, hi)
+		pred := model.Forward(sub.X, false)
+		per := sampleSize(pred)
+		for i := 0; i < pred.Dim(0); i++ {
+			row := make([]float64, per)
+			copy(row, pred.Data[i*per:(i+1)*per])
+			out = append(out, row)
+		}
+	}
+	return out
+}
