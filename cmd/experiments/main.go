@@ -18,7 +18,9 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/train"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 		timing    = flag.Bool("timing", false, "run the TCN-parameter timing study")
 		naiveCmp  = flag.Bool("naive", false, "compare RPTCN against classical reference forecasters")
 		fast      = flag.Bool("fast", false, "reduced sizes (seconds instead of minutes)")
+		verbose   = flag.Bool("verbose", false, "log per-epoch training progress to stderr")
 		csv       = flag.Bool("csv", false, "also print machine-readable CSV where available")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		samples   = flag.Int("samples", 0, "series length override")
@@ -51,6 +54,9 @@ func main() {
 	}
 	if *entities > 0 {
 		opts.Entities = *entities
+	}
+	if *verbose {
+		opts.Hooks = append(opts.Hooks, train.NewLogHook(obs.Logger("experiments")))
 	}
 
 	if !*all && *table == 0 && *fig == 0 && !*ablations && !*general && !*timing && !*naiveCmp {

@@ -5,30 +5,42 @@
 //
 //	rptcnd -synthetic -addr :8080
 //	rptcnd -input trace.csv -entity c_10000 -scenario mul-exp
+//	rptcnd -synthetic -debug-addr :6060   # pprof + expvar sidecar
 //
 // Then:
 //
 //	curl localhost:8080/v1/model
+//	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/v1/forecast -d '{"indicators": [[...], ...]}'
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// forecasts drain, then a final metrics snapshot is logged.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
+	"repro/internal/train"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /debug/vars, and /metrics")
 		input     = flag.String("input", "", "trace CSV in v2018 layout")
 		synthetic = flag.Bool("synthetic", false, "train on a generated workload")
 		entityID  = flag.String("entity", "", "entity to train on (default: first)")
@@ -42,18 +54,24 @@ func main() {
 		loadModel = flag.String("load", "", "serve a predictor saved by `rptcn -save` instead of training")
 	)
 	flag.Parse()
+	log := obs.Logger("rptcnd")
+
+	fatal := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	if *loadModel != "" {
 		f, err := os.Open(*loadModel)
 		if err != nil {
-			log.Fatalf("rptcnd: %v", err)
+			fatal("open model", err)
 		}
 		p, err := core.LoadPredictor(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("rptcnd: load: %v", err)
+			fatal("load model", err)
 		}
-		serve(*addr, p)
+		serve(log, *addr, *debugAddr, p)
 		return
 	}
 
@@ -66,7 +84,8 @@ func main() {
 	case "mul-exp", "mulexp":
 		sc = core.MulExp
 	default:
-		log.Fatalf("rptcnd: unknown scenario %q", *scenario)
+		log.Error("unknown scenario", "scenario", *scenario)
+		os.Exit(1)
 	}
 
 	kind := trace.Container
@@ -83,15 +102,15 @@ func main() {
 	case *input != "":
 		f, err := os.Open(*input)
 		if err != nil {
-			log.Fatalf("rptcnd: %v", err)
+			fatal("open trace", err)
 		}
 		entities, err := trace.ReadCSV(f, kind)
 		f.Close()
 		if err != nil {
-			log.Fatalf("rptcnd: %v", err)
+			fatal("read trace", err)
 		}
 		if len(entities) == 0 {
-			log.Fatalf("rptcnd: no entities in %s", *input)
+			fatal("read trace", errors.New("no entities in "+*input))
 		}
 		entity = entities[0]
 		if *entityID != "" {
@@ -103,11 +122,11 @@ func main() {
 				}
 			}
 			if entity == nil {
-				log.Fatalf("rptcnd: entity %q not found", *entityID)
+				fatal("select entity", errors.New("entity "+*entityID+" not found"))
 			}
 		}
 	default:
-		log.Fatal("rptcnd: need -input or -synthetic")
+		fatal("configure", errors.New("need -input or -synthetic"))
 	}
 
 	p := core.NewPredictor(core.PredictorConfig{
@@ -116,29 +135,92 @@ func main() {
 			Channels: []int{16, 16, 16}, KernelSize: 3, Dilations: []int{1, 2, 4},
 			Dropout: 0.1, WeightNorm: true, FCWidth: 32,
 		},
+		// Training progress streams into the same registry /metrics
+		// serves, plus per-epoch structured log lines.
+		Hooks: []train.Hook{
+			train.NewMetricsHook(obs.Default()),
+			train.NewLogHook(obs.Logger("train")),
+		},
 	})
-	log.Printf("training RPTCN (%s) on %s %s ...", sc, entity.Kind, entity.ID)
+	log.Info("training RPTCN", "scenario", sc.String(), "kind", entity.Kind.String(), "entity", entity.ID)
 	start := time.Now()
 	if err := p.Fit(entity.Matrix(), int(trace.CPUUtilPercent)); err != nil {
-		log.Fatalf("rptcnd: fit: %v", err)
+		fatal("fit", err)
 	}
 	rep, err := p.TestMetrics()
 	if err != nil {
-		log.Fatalf("rptcnd: %v", err)
+		fatal("test metrics", err)
 	}
-	log.Printf("trained in %s; test MSE %.4f x10^-2, MAE %.4f x10^-2",
-		time.Since(start).Round(time.Millisecond), rep.MSE*100, rep.MAE*100)
-	serve(*addr, p)
+	log.Info("trained",
+		"dur", time.Since(start).Round(time.Millisecond),
+		"test_mse_x100", rep.MSE*100, "test_mae_x100", rep.MAE*100)
+	serve(log, *addr, *debugAddr, p)
 }
 
-func serve(addr string, p *core.Predictor) {
+func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor) {
+	reg := obs.Default()
+	reg.PublishExpvar("rptcn")
+	// Pre-register the training families so /metrics shows them even for
+	// predictors served via -load (no training in this process).
+	train.NewMetricsHook(reg)
+
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(p),
+		Handler:           server.New(p, server.WithRegistry(reg)),
+		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	fmt.Printf("serving forecasts on %s (GET /v1/model, POST /v1/forecast)\n", addr)
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatalf("rptcnd: %v", err)
+
+	if debugAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			mux.Handle("/debug/vars", http.DefaultServeMux)
+			mux.Handle("/metrics", reg.Handler())
+			dbg := &http.Server{Addr: debugAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			log.Info("debug server listening", "addr", debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug server", "err", err)
+			}
+		}()
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Info("serving forecasts", "addr", addr,
+		"endpoints", "GET /healthz, GET /metrics, GET /v1/model, POST /v1/forecast")
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Info("signal received, draining in-flight forecasts")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Error("shutdown", "err", err)
+		}
+	}
+
+	// Final metrics snapshot: the operational record of this process.
+	for _, s := range reg.Snapshot() {
+		if s.Type == "histogram" {
+			log.Info("final metric", "name", s.Name+s.Labels, "count", s.Count, "sum", s.Sum)
+		} else {
+			log.Info("final metric", "name", s.Name+s.Labels, "value", s.Value)
+		}
+	}
+	log.Info("bye")
 }

@@ -8,9 +8,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/train"
 )
 
 func main() {
@@ -43,6 +45,17 @@ func main() {
 			WeightNorm: true,
 			FCWidth:    32,
 		},
+		// A training hook streams per-epoch progress — the same interface
+		// rptcnd uses to feed its /metrics endpoint (see internal/obs).
+		Hooks: []train.Hook{train.FuncHook{
+			EpochEnd: func(s train.EpochStats) {
+				fmt.Printf("  epoch %2d  train %.5f  valid %.5f  (%s)\n",
+					s.Epoch, s.TrainLoss, s.ValidLoss, s.Duration.Round(time.Millisecond))
+			},
+			EarlyStop: func(s train.StopInfo) {
+				fmt.Printf("  early stop at epoch %d (best epoch %d)\n", s.Epoch, s.BestEpoch)
+			},
+		}},
 	})
 
 	// 3. Fit runs Algorithm 1 end to end: clean → normalize → screen by

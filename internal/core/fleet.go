@@ -102,6 +102,7 @@ func (p *Predictor) FitFleet(entities [][][]float64, target int) error {
 		Seed:        p.Cfg.Seed + 1,
 		RestoreBest: true,
 		ClipNorm:    5,
+		Hooks:       p.Cfg.Hooks,
 	})
 	return nil
 }

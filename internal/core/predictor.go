@@ -97,6 +97,9 @@ type PredictorConfig struct {
 	Seed         uint64
 	// TrainFrac/ValidFrac default to the paper's 6:2:2 split.
 	TrainFrac, ValidFrac float64
+	// Hooks observe training (per-epoch metrics/logging); see train.Hook.
+	// Excluded from model serialization: hooks are runtime wiring.
+	Hooks []train.Hook `json:"-"`
 }
 
 func (c *PredictorConfig) fillDefaults() {
@@ -247,6 +250,7 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 		Seed:        p.Cfg.Seed + 1,
 		RestoreBest: true,
 		ClipNorm:    5,
+		Hooks:       p.Cfg.Hooks,
 	})
 	return nil
 }

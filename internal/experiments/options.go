@@ -5,11 +5,16 @@
 // hook in the repository root's bench_test.go.
 package experiments
 
+import "repro/internal/train"
+
 // Options controls the scale of every experiment. The zero value is the
 // full-fidelity configuration; Fast() returns a reduced configuration for
 // benchmarks and smoke tests.
 type Options struct {
 	Seed uint64
+	// Hooks observe every deep-model training run the experiment performs
+	// (per-epoch logging/metrics); see train.Hook.
+	Hooks []train.Hook
 	// Samples is the series length per entity (paper: 8 days @ 10s ≈ 69k;
 	// default here 2500 to keep CPU training tractable).
 	Samples int

@@ -102,6 +102,7 @@ func deepTrainConfigLR(o Options, seed uint64, lr float64) train.Config {
 		Seed:        seed,
 		RestoreBest: true,
 		ClipNorm:    5,
+		Hooks:       o.Hooks,
 	}
 }
 

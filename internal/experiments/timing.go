@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/train"
@@ -17,12 +18,18 @@ import (
 // the paper's Sec. V-C proposes as future work ("explore the influence of
 // TCNs parameters on the running time of this model ... apply the model to
 // the real-time resource usage prediction").
+//
+// InferLatency is the mean; InferP50/InferP99 come from an obs.Histogram
+// over the individual repetitions, because real-time serving cares about
+// the tail, not the mean.
 type TimingRow struct {
 	Label          string
 	Params         int
 	ReceptiveField int
 	EpochTime      time.Duration
 	InferLatency   time.Duration
+	InferP50       time.Duration
+	InferP99       time.Duration
 }
 
 // TimingStudy is the collection of measured configurations.
@@ -75,28 +82,40 @@ func RunTimingStudy(o Options) (*TimingStudy, error) {
 		start := time.Now()
 		train.Fit(m, p.tr, p.va, cfg)
 		row.EpochTime = time.Since(start)
-		// Inference latency on a single window, averaged.
+		// Inference latency on a single window: per-rep observations into
+		// a histogram so the table can report the distribution, not just
+		// the mean (tail latency is what real-time serving budgets for).
 		x := p.te.Subset(0, 1)
 		const reps = 50
-		start = time.Now()
+		hist := obs.NewHistogram(obs.ExponentialBuckets(1e-6, 2, 26)) // 1 µs .. ~33 s
 		for i := 0; i < reps; i++ {
+			t0 := time.Now()
 			m.Forward(x.X, false)
+			hist.Observe(time.Since(t0).Seconds())
 		}
-		row.InferLatency = time.Since(start) / reps
+		row.InferLatency = secondsToDuration(hist.Mean())
+		row.InferP50 = secondsToDuration(hist.Quantile(0.5))
+		row.InferP99 = secondsToDuration(hist.Quantile(0.99))
 		study.Rows = append(study.Rows, row)
 	}
 	return study, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }
 
 // Format renders the timing table.
 func (s *TimingStudy) Format() string {
 	var b strings.Builder
 	b.WriteString("Timing study: RPTCN parameters vs training/inference cost (future work, Sec. V-C)\n")
-	fmt.Fprintf(&b, "%-20s %10s %6s %14s %14s\n", "variant", "params", "rf", "epoch time", "infer/window")
+	fmt.Fprintf(&b, "%-20s %10s %6s %14s %14s %12s %12s\n",
+		"variant", "params", "rf", "epoch time", "infer mean", "infer p50", "infer p99")
 	for _, r := range s.Rows {
-		fmt.Fprintf(&b, "%-20s %10d %6d %14s %14s\n",
+		fmt.Fprintf(&b, "%-20s %10d %6d %14s %14s %12s %12s\n",
 			r.Label, r.Params, r.ReceptiveField,
-			r.EpochTime.Round(time.Millisecond), r.InferLatency.Round(time.Microsecond))
+			r.EpochTime.Round(time.Millisecond), r.InferLatency.Round(time.Microsecond),
+			r.InferP50.Round(time.Microsecond), r.InferP99.Round(time.Microsecond))
 	}
 	return b.String()
 }

@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

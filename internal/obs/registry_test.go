@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // dropped: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	g := r.Gauge("in_flight", "in-flight")
+	g.Set(4)
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestSeriesIdentityAcrossCalls(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", "", L("path", "/x"), L("code", "200"))
+	// Same labels in a different order address the same series.
+	b := r.Counter("hits", "", L("code", "200"), L("path", "/x"))
+	if a != b {
+		t.Fatal("label order must not create a new series")
+	}
+	c := r.Counter("hits", "", L("path", "/y"), L("code", "200"))
+	if a == c {
+		t.Fatal("different labels must create a new series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge name collision")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("ops_total", "ops", L("worker", string(rune('a'+w%4)))).Inc()
+				r.Gauge("depth", "").Set(float64(i))
+				r.Histogram("lat", "", ExponentialBuckets(0.001, 2, 10)).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					var sb strings.Builder
+					if _, err := r.WriteTo(&sb); err != nil {
+						t.Errorf("WriteTo: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0.0
+	for _, s := range r.Snapshot() {
+		if s.Name == "ops_total" {
+			total += s.Value
+		}
+	}
+	if want := float64(workers * iters); total != want {
+		t.Fatalf("ops_total = %g, want %g", total, want)
+	}
+	if h := r.Histogram("lat", "", nil); h.Count() != workers*iters {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*iters)
+	}
+}
+
+func TestSnapshotOrderStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_first", "")
+	r.Counter("a_second", "")
+	snaps := r.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "z_first" || snaps[1].Name != "a_second" {
+		t.Fatalf("snapshot order = %+v", snaps)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "").Inc()
+	// Must not panic on repeat (expvar.Publish panics on duplicates).
+	r.PublishExpvar("test_metrics")
+	r.PublishExpvar("test_metrics")
+}

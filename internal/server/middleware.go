@@ -1,0 +1,82 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// instrumentation holds the serving-path metric families. All series are
+// pre-registered at construction so /metrics shows the full schema (at
+// zero) from the first scrape.
+type instrumentation struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+}
+
+func newInstrumentation(reg *obs.Registry) *instrumentation {
+	return &instrumentation{
+		reg:      reg,
+		inFlight: reg.Gauge("rptcn_http_in_flight", "Requests currently being served."),
+	}
+}
+
+// statusRecorder captures the response code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// wrap instruments one route: request counter (by path and code), error
+// counter, in-flight gauge, and a latency histogram. The forecast
+// endpoint additionally feeds rptcn_forecast_latency_seconds, the SLO
+// histogram for the paper's real-time prediction mode.
+func (in *instrumentation) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := in.reg.Histogram("rptcn_http_request_seconds",
+		"HTTP request latency by route.", nil, obs.L("path", route))
+	errs := in.reg.Counter("rptcn_http_errors_total",
+		"HTTP responses with status >= 500.", obs.L("path", route))
+	// Pre-register the success series so the counter family is visible
+	// before the first request.
+	in.reg.Counter("rptcn_http_requests_total", "Total HTTP requests.",
+		obs.L("path", route), obs.L("code", "200"))
+	var forecastLat *obs.Histogram
+	if route == "/v1/forecast" {
+		forecastLat = in.reg.Histogram("rptcn_forecast_latency_seconds",
+			"End-to-end forecast request latency.", nil)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		in.inFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		in.inFlight.Dec()
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start).Seconds()
+		lat.Observe(elapsed)
+		if forecastLat != nil {
+			forecastLat.Observe(elapsed)
+		}
+		in.reg.Counter("rptcn_http_requests_total", "Total HTTP requests.",
+			obs.L("path", route), obs.L("code", strconv.Itoa(rec.status))).Inc()
+		if rec.status >= 500 {
+			errs.Inc()
+		}
+	}
+}

@@ -6,18 +6,25 @@
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text-format metrics
 //	GET  /v1/model     model metadata (scenario, window, screening, size)
 //	POST /v1/forecast  {"indicators": [[...],...]} → {"forecast": [...]}
+//
+// Every route is instrumented through internal/obs: request counters by
+// path and status code, an in-flight gauge, per-route latency histograms,
+// and the rptcn_forecast_latency_seconds SLO histogram.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -27,21 +34,51 @@ import (
 type Server struct {
 	predictor *core.Predictor
 	mux       *http.ServeMux
+	reg       *obs.Registry
+	log       *slog.Logger
 
 	inferMu sync.Mutex // guards predictor.ForecastFrom
 }
 
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithRegistry directs the server's metrics into r instead of the
+// process-wide obs.Default() registry. Tests use this for isolation.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Server) { s.reg = r }
+}
+
+// WithLogger replaces the server's structured logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
 // New wraps a fitted predictor. It panics if p is nil.
-func New(p *core.Predictor) *Server {
+func New(p *core.Predictor, opts ...Option) *Server {
 	if p == nil {
 		panic("server: nil predictor")
 	}
 	s := &Server{predictor: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	s.mux.HandleFunc("POST /v1/forecast", s.handleForecast)
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	if s.log == nil {
+		s.log = obs.Logger("server")
+	}
+	in := newInstrumentation(s.reg)
+	s.mux.HandleFunc("GET /healthz", in.wrap("/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /v1/model", in.wrap("/v1/model", s.handleModel))
+	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.handleForecast))
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	return s
 }
+
+// Registry returns the metrics registry the server reports into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -77,7 +114,7 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		info.ParamCount = nn.ParamCount(m)
 		info.ReceptiveField = m.ReceptiveField()
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 // ForecastRequest is the /v1/forecast request body: raw indicator history
@@ -101,21 +138,21 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	var req ForecastRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err))
 		return
 	}
 	if len(req.Indicators) == 0 {
-		writeError(w, http.StatusBadRequest, "indicators must be non-empty")
+		s.writeError(w, http.StatusBadRequest, "indicators must be non-empty")
 		return
 	}
 	s.inferMu.Lock()
 	forecast, err := s.predictor.ForecastFrom(req.Indicators)
 	s.inferMu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, ForecastResponse{
+	s.writeJSON(w, http.StatusOK, ForecastResponse{
 		Forecast: forecast,
 		Target:   targetName(s.predictor),
 		Horizon:  s.predictor.Cfg.Horizon,
@@ -134,15 +171,18 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorBody{Error: msg})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already out; nothing safe to do but log-less drop.
-		_ = err
+		// Headers are already out, so the client sees a truncated body;
+		// record the failure instead of dropping it silently.
+		s.log.Error("response encode failed", "status", code, "err", err)
+		s.reg.Counter("rptcn_http_encode_errors_total",
+			"Responses whose JSON encoding failed mid-write.").Inc()
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -113,6 +114,10 @@ type Config struct {
 	// RestoreBest restores the parameter values from the best validation
 	// epoch after training (like Keras restore_best_weights).
 	RestoreBest bool
+	// Hooks observe the run (per-batch, per-epoch, early-stop events).
+	// They fire in slice order, after the built-in History hook, and
+	// always before best-weight restoration.
+	Hooks []Hook
 }
 
 func (c *Config) fillDefaults() {
@@ -134,11 +139,20 @@ func (c *Config) fillDefaults() {
 }
 
 // Fit trains the model on tr, monitoring va for early stopping, and
-// returns the loss history.
+// returns the loss history. The returned History is itself the first
+// training Hook; cfg.Hooks fire after it, in order, so a user hook
+// observing OnEpochEnd sees History already extended for that epoch, and
+// OnEarlyStop fires before any best-weight restoration.
 func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	cfg.fillDefaults()
 	rng := tensor.NewRNG(cfg.Seed)
 	hist := &History{BestEpoch: -1}
+	hooks := make([]Hook, 0, 1+len(cfg.Hooks))
+	hooks = append(hooks, hist)
+	hooks = append(hooks, cfg.Hooks...)
+	// The pre-clip gradient norm costs a full pass over the parameters,
+	// so it is computed only when someone beyond History is listening.
+	wantGradNorm := len(cfg.Hooks) > 0
 	best := math.Inf(1)
 	var bestParams []*tensor.Tensor
 	baseLR := cfg.Optimizer.LR()
@@ -151,11 +165,14 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		cfg.Optimizer.SetLR(cfg.Schedule.Rate(epoch, baseLR))
+		lr := cfg.Schedule.Rate(epoch, baseLR)
+		cfg.Optimizer.SetLR(lr)
 		if cfg.Shuffle {
 			order = rng.Perm(n)
 		}
+		epochStart := time.Now()
 		epochLoss := 0.0
+		normSum := 0.0
 		batches := 0
 		for lo := 0; lo < n; lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
@@ -167,28 +184,65 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 			pred := model.Forward(batch.X, true)
 			l := cfg.Loss.Forward(pred, batch.Y)
 			model.Backward(cfg.Loss.Backward())
-			if cfg.ClipNorm > 0 {
-				opt.ClipGradNorm(model.Params(), cfg.ClipNorm)
+			gnorm := math.NaN()
+			switch {
+			case cfg.ClipNorm > 0:
+				gnorm = opt.ClipGradNorm(model.Params(), cfg.ClipNorm)
+			case wantGradNorm:
+				gnorm = gradNorm(model.Params())
 			}
 			cfg.Optimizer.Step(model.Params())
 			epochLoss += l
+			if !math.IsNaN(gnorm) {
+				normSum += gnorm
+			}
+			for _, h := range hooks {
+				h.OnBatchEnd(BatchStats{
+					Epoch: epoch, Batch: batches, Size: hi - lo, Loss: l, GradNorm: gnorm,
+				})
+			}
 			batches++
 		}
-		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
 
 		vl := EvaluateLoss(model, va, cfg.Loss)
-		hist.ValidLoss = append(hist.ValidLoss, vl)
-		if vl < best {
+		improved := vl < best
+		if improved {
 			best = vl
-			hist.BestEpoch = epoch
 			wait = 0
 			if cfg.RestoreBest {
 				bestParams = snapshot(model)
 			}
-		} else if cfg.Patience > 0 {
+		}
+		stats := EpochStats{
+			Epoch:     epoch,
+			TrainLoss: epochLoss / float64(batches),
+			ValidLoss: vl,
+			GradNorm:  math.NaN(),
+			LR:        lr,
+			Duration:  time.Since(epochStart),
+			Improved:  improved,
+			BestEpoch: hist.BestEpoch,
+		}
+		if improved {
+			stats.BestEpoch = epoch
+		}
+		stats.BestValidLoss = best
+		if wantGradNorm || cfg.ClipNorm > 0 {
+			stats.GradNorm = normSum / float64(batches)
+		}
+		for _, h := range hooks {
+			h.OnEpochEnd(stats)
+		}
+		if !improved && cfg.Patience > 0 {
 			wait++
 			if wait >= cfg.Patience {
-				hist.Stopped = true
+				stop := StopInfo{
+					Epoch: epoch, BestEpoch: hist.BestEpoch,
+					BestValidLoss: best, Patience: cfg.Patience,
+				}
+				for _, h := range hooks {
+					h.OnEarlyStop(stop)
+				}
 				break
 			}
 		}
@@ -198,6 +252,18 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 		restore(model, bestParams)
 	}
 	return hist
+}
+
+// gradNorm is the global L2 norm of all parameter gradients (the value
+// ClipGradNorm computes, without the clipping).
+func gradNorm(params []*nn.Param) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	return math.Sqrt(total)
 }
 
 func snapshot(model nn.Layer) []*tensor.Tensor {
