@@ -10,6 +10,7 @@
 //	experiments -ablations           # the DESIGN.md ablations
 //	experiments -fast                # reduced sizes for a quick look
 //	experiments -seed 7 -samples 4000 -epochs 50
+//	experiments -fast -table 2 -trace-out traces.jsonl   # span traces of every run
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -39,6 +41,7 @@ func main() {
 		samples   = flag.Int("samples", 0, "series length override")
 		epochs    = flag.Int("epochs", 0, "training epochs override")
 		entities  = flag.Int("entities", 0, "fleet size override")
+		traceOut  = flag.String("trace-out", "", "record span traces of every training run and write them as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +60,21 @@ func main() {
 	}
 	if *verbose {
 		opts.Hooks = append(opts.Hooks, train.NewLogHook(obs.Logger("experiments")))
+	}
+	if *traceOut != "" {
+		obstrace.Default().SetEnabled(true)
+		opts.Tracer = obstrace.Default()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := obstrace.Default().WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+			}
+		}()
 	}
 
 	if !*all && *table == 0 && *fig == 0 && !*ablations && !*general && !*timing && !*naiveCmp {

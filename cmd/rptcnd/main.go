@@ -5,13 +5,16 @@
 //
 //	rptcnd -synthetic -addr :8080
 //	rptcnd -input trace.csv -entity c_10000 -scenario mul-exp
-//	rptcnd -synthetic -debug-addr :6060   # pprof + expvar sidecar
+//	rptcnd -synthetic -debug-addr :6060   # pprof + expvar + trace sidecar
+//	rptcnd -synthetic -trace -rundir runs # span traces + JSONL run journal
 //
 // Then:
 //
 //	curl localhost:8080/v1/model
 //	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/v1/forecast -d '{"indicators": [[...], ...]}'
+//	curl localhost:6060/debug/traces      # recorded span trees (with -trace)
+//	go run ./cmd/runlog runs              # summarize the run journal
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
 // forecasts drain, then a final metrics snapshot is logged.
@@ -32,6 +35,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/runlog"
+	obstrace "repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/train"
@@ -52,9 +57,15 @@ func main() {
 		samples   = flag.Int("samples", 2500, "synthetic series length")
 		seed      = flag.Uint64("seed", 1, "seed")
 		loadModel = flag.String("load", "", "serve a predictor saved by `rptcn -save` instead of training")
+		traceOn   = flag.Bool("trace", false, "record span traces of training and serving (see /debug/traces)")
+		runDir    = flag.String("rundir", "", "write a run-artifact journal (JSONL) for the training run under this directory")
 	)
 	flag.Parse()
 	log := obs.Logger("rptcnd")
+	obs.RegisterRuntimeMetrics(obs.Default())
+	if *traceOn {
+		obstrace.Default().SetEnabled(true)
+	}
 
 	fatal := func(msg string, err error) {
 		log.Error(msg, "err", err)
@@ -129,6 +140,29 @@ func main() {
 		fatal("configure", errors.New("need -input or -synthetic"))
 	}
 
+	// Run-artifact journal: a persistent JSONL record of this training
+	// run (render it back with `go run ./cmd/runlog <dir>`).
+	var journal *runlog.Run
+	if *runDir != "" {
+		var err error
+		journal, err = runlog.Create(*runDir)
+		if err != nil {
+			fatal("create run journal", err)
+		}
+		log.Info("journaling run", "path", journal.Path())
+	}
+	hooks := []train.Hook{
+		train.NewMetricsHook(obs.Default()),
+		train.NewLogHook(obs.Logger("train")),
+	}
+	if journal != nil {
+		hooks = append(hooks, train.NewJournalHook(journal))
+	}
+	journal.Log(runlog.TypeConfig, map[string]any{
+		"scenario": sc.String(), "kind": entity.Kind.String(), "entity": entity.ID,
+		"window": *window, "horizon": *horizon, "epochs": *epochs, "seed": *seed,
+	})
+
 	p := core.NewPredictor(core.PredictorConfig{
 		Scenario: sc, Window: *window, Horizon: *horizon, Epochs: *epochs, Seed: *seed,
 		Model: core.Config{
@@ -137,10 +171,8 @@ func main() {
 		},
 		// Training progress streams into the same registry /metrics
 		// serves, plus per-epoch structured log lines.
-		Hooks: []train.Hook{
-			train.NewMetricsHook(obs.Default()),
-			train.NewLogHook(obs.Logger("train")),
-		},
+		Hooks:  hooks,
+		Tracer: obstrace.Default(),
 	})
 	log.Info("training RPTCN", "scenario", sc.String(), "kind", entity.Kind.String(), "entity", entity.ID)
 	start := time.Now()
@@ -154,6 +186,13 @@ func main() {
 	log.Info("trained",
 		"dur", time.Since(start).Round(time.Millisecond),
 		"test_mse_x100", rep.MSE*100, "test_mae_x100", rep.MAE*100)
+	journal.Log(runlog.TypeFinal, map[string]any{
+		"test_mse": rep.MSE, "test_mae": rep.MAE,
+		"train_seconds": time.Since(start).Seconds(),
+	})
+	if err := journal.Close(); err != nil {
+		log.Error("run journal", "err", err)
+	}
 	serve(log, *addr, *debugAddr, p)
 }
 
@@ -166,7 +205,7 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor) {
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(p, server.WithRegistry(reg)),
+		Handler:           server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default())),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -182,6 +221,7 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor) {
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			mux.Handle("/debug/vars", http.DefaultServeMux)
+			mux.Handle("/debug/traces", obstrace.Default().Handler())
 			mux.Handle("/metrics", reg.Handler())
 			dbg := &http.Server{Addr: debugAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 			log.Info("debug server listening", "addr", debugAddr)

@@ -1,0 +1,49 @@
+// Command runlog renders a run-artifact journal back into text tables:
+// the run config, per-epoch scalars, the per-layer profile, and final
+// metrics.
+//
+//	runlog runs/run-20260806-101530.jsonl   # a specific journal
+//	runlog runs/                            # the latest journal in a dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/runlog"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: runlog <journal.jsonl | run-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	info, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	if info.IsDir() {
+		path, err = runlog.Latest(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("journal: %s\n\n", path)
+	}
+	events, err := runlog.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(runlog.Summarize(events))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runlog:", err)
+	os.Exit(1)
+}

@@ -3,19 +3,27 @@
 // multi-step forecast.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -rundir runs   # also write a JSONL run journal
+//	go run ./cmd/runlog runs                    # ...and summarize it later
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/obs/runlog"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
 
 func main() {
+	runDir := flag.String("rundir", "", "write a run-artifact journal (JSONL) under this directory")
+	flag.Parse()
+
 	// 1. A synthetic container workload standing in for Alibaba trace
 	//    v2018: eight correlated performance indicators sampled at 10 s,
 	//    with regime shifts and bursts.
@@ -28,9 +36,40 @@ func main() {
 	fmt.Printf("workload: %s (%d samples, %d indicators)\n",
 		entity.ID, entity.Len(), trace.NumIndicators)
 
+	// Optional run journal: an append-only JSONL record of this training
+	// run. All runlog calls are nil-safe, so the no-flag path costs nothing.
+	var journal *runlog.Run
+	if *runDir != "" {
+		var err error
+		journal, err = runlog.Create(*runDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("journal: %s\n", journal.Path())
+	}
+	journal.Log(runlog.TypeConfig, map[string]any{
+		"scenario": core.MulExp.String(), "window": 32, "horizon": 5,
+		"epochs": 25, "seed": 1, "entity": entity.ID,
+	})
+
 	// 2. An RPTCN predictor in the paper's strongest configuration:
 	//    Mul-Exp inputs (PCC-screened indicators, horizontally expanded),
 	//    kernel size 3, dilations [1,2,4], FC + attention heads.
+	//    A profiler wraps every model stage to break training cost down
+	//    per layer.
+	prof := nn.NewProfiler()
+	hooks := []train.Hook{train.FuncHook{
+		EpochEnd: func(s train.EpochStats) {
+			fmt.Printf("  epoch %2d  train %.5f  valid %.5f  (%s)\n",
+				s.Epoch, s.TrainLoss, s.ValidLoss, s.Duration.Round(time.Millisecond))
+		},
+		EarlyStop: func(s train.StopInfo) {
+			fmt.Printf("  early stop at epoch %d (best epoch %d)\n", s.Epoch, s.BestEpoch)
+		},
+	}}
+	if journal != nil {
+		hooks = append(hooks, train.NewJournalHook(journal))
+	}
 	predictor := core.NewPredictor(core.PredictorConfig{
 		Scenario: core.MulExp,
 		Window:   32,
@@ -47,15 +86,8 @@ func main() {
 		},
 		// A training hook streams per-epoch progress — the same interface
 		// rptcnd uses to feed its /metrics endpoint (see internal/obs).
-		Hooks: []train.Hook{train.FuncHook{
-			EpochEnd: func(s train.EpochStats) {
-				fmt.Printf("  epoch %2d  train %.5f  valid %.5f  (%s)\n",
-					s.Epoch, s.TrainLoss, s.ValidLoss, s.Duration.Round(time.Millisecond))
-			},
-			EarlyStop: func(s train.StopInfo) {
-				fmt.Printf("  early stop at epoch %d (best epoch %d)\n", s.Epoch, s.BestEpoch)
-			},
-		}},
+		Hooks:    hooks,
+		Profiler: prof,
 	})
 
 	// 3. Fit runs Algorithm 1 end to end: clean → normalize → screen by
@@ -79,6 +111,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("test MSE = %.4f x10^-2   MAE = %.4f x10^-2\n", rep.MSE*100, rep.MAE*100)
+
+	// Per-layer training cost: where the per-epoch budget actually went.
+	fmt.Printf("per-layer training cost:\n%s", prof.Table())
+	journal.Log(runlog.TypeProfile, train.ProfileData(prof))
+	journal.Log(runlog.TypeFinal, map[string]any{
+		"test_mse": rep.MSE, "test_mae": rep.MAE,
+	})
+	if err := journal.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// 5. Forecast the next 5 CPU utilization values on the raw 0–100 scale.
 	forecast, err := predictor.Forecast()

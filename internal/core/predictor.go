@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataprep"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	obstrace "repro/internal/obs/trace"
 	"repro/internal/opt"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -100,6 +101,13 @@ type PredictorConfig struct {
 	// Hooks observe training (per-epoch metrics/logging); see train.Hook.
 	// Excluded from model serialization: hooks are runtime wiring.
 	Hooks []train.Hook `json:"-"`
+	// Tracer records a span tree of the whole pipeline: a "predictor.fit"
+	// root with dataprep.* stage children and the nested train.fit run.
+	// Runtime wiring like Hooks; nil (or disabled) is free.
+	Tracer *obstrace.Tracer `json:"-"`
+	// Profiler, when set, wraps every model stage with per-layer timing
+	// (see Model.Profile); read the breakdown with Profiler.Table().
+	Profiler *nn.Profiler `json:"-"`
 }
 
 func (c *PredictorConfig) fillDefaults() {
@@ -161,19 +169,25 @@ func NewPredictor(cfg PredictorConfig) *Predictor {
 
 // prepare runs the data pipeline of Algorithm 1 lines 1–5 and returns the
 // prepared channel matrix plus the row index of the target channel.
-func (p *Predictor) prepare(series [][]float64, target int) ([][]float64, int, error) {
+// Stage spans are recorded as children of parent (nil-safe).
+func (p *Predictor) prepare(series [][]float64, target int, parent *obstrace.Span) ([][]float64, int, error) {
 	if target < 0 || target >= len(series) {
 		return nil, 0, fmt.Errorf("core: target index %d out of range (have %d indicators)", target, len(series))
 	}
+	sp := parent.Start("dataprep." + dataprep.StageClean)
 	cleaned := dataprep.Clean(series)
+	sp.End()
 	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
 		return nil, 0, errors.New("core: no complete records after cleaning")
 	}
 	// The paper normalizes the full series before splitting (Algorithm 1
 	// line 2); we keep that order for fidelity.
+	sp = parent.Start("dataprep." + dataprep.StageNormalize)
 	p.norm = dataprep.FitNormalizer(cleaned)
 	normed := p.norm.Transform(cleaned)
+	sp.End()
 
+	sp = parent.Start("dataprep." + dataprep.StageScreen)
 	switch p.Cfg.Scenario {
 	case Uni:
 		p.selected = []int{target}
@@ -181,10 +195,15 @@ func (p *Predictor) prepare(series [][]float64, target int) ([][]float64, int, e
 		p.selected = dataprep.ScreenTopHalf(normed, target)
 	}
 	sel := dataprep.Select(normed, p.selected)
+	sp.SetAttr(obstrace.Int("selected", len(p.selected)))
+	sp.End()
 	// ScreenTopHalf puts the target first, and every expansion mode emits
 	// the target's lag-0 copy as its first channel.
 	if p.Cfg.Scenario == MulExp {
+		sp = parent.Start("dataprep."+dataprep.StageExpand,
+			obstrace.String("mode", p.Cfg.Expansion.String()))
 		sel = p.expand(sel)
+		sp.End()
 	}
 	return sel, 0, nil
 }
@@ -211,20 +230,32 @@ func (p *Predictor) expand(sel [][]float64) [][]float64 {
 // Fit runs the full pipeline on series ([indicator][time]) predicting the
 // indicator at index target.
 func (p *Predictor) Fit(series [][]float64, target int) error {
+	var fitSpan *obstrace.Span
+	if p.Cfg.Tracer != nil {
+		fitSpan = p.Cfg.Tracer.Start("predictor.fit",
+			obstrace.String("scenario", p.Cfg.Scenario.String()),
+			obstrace.Int("indicators", len(series)),
+			obstrace.Int("target", target),
+			obstrace.Int("window", p.Cfg.Window),
+			obstrace.Int("horizon", p.Cfg.Horizon))
+		defer fitSpan.End()
+	}
 	p.target = target
 	p.weightedFactors = nil // recomputed per fit
-	prepared, targetRow, err := p.prepare(series, target)
+	prepared, targetRow, err := p.prepare(series, target, fitSpan)
 	if err != nil {
 		return err
 	}
 	p.prepared = prepared
 	p.targetRow = targetRow
 
+	windowSpan := fitSpan.Start("dataprep." + dataprep.StageWindow)
 	ds, err := dataprep.BuildSupervised(prepared, dataprep.WindowConfig{
 		Window:  p.Cfg.Window,
 		Horizon: p.Cfg.Horizon,
 		Target:  targetRow,
 	})
+	windowSpan.End()
 	if err != nil {
 		return err
 	}
@@ -239,6 +270,7 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 	mcfg.Horizon = p.Cfg.Horizon
 	r := tensor.NewRNG(p.Cfg.Seed)
 	p.model = NewModel(r, mcfg)
+	p.model.Profile(p.Cfg.Profiler)
 
 	p.history = train.Fit(p.model, tr, va, train.Config{
 		Epochs:      p.Cfg.Epochs,
@@ -251,6 +283,8 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 		RestoreBest: true,
 		ClipNorm:    5,
 		Hooks:       p.Cfg.Hooks,
+		TraceParent: fitSpan,
+		Tracer:      p.Cfg.Tracer,
 	})
 	return nil
 }
@@ -370,3 +404,23 @@ func (p *Predictor) SelectedIndicators() []int { return p.selected }
 
 // Model exposes the underlying network (e.g. for attention inspection).
 func (p *Predictor) Model() *Model { return p.model }
+
+// NormBounds returns the per-indicator min/max the normalizer was fitted
+// with (copies; nil before Fit). Serving uses them to flag inputs that
+// drift outside the training distribution.
+func (p *Predictor) NormBounds() (min, max []float64) {
+	if p.norm == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), p.norm.Min...), append([]float64(nil), p.norm.Max...)
+}
+
+// MinHistory returns the number of complete (clean) samples ForecastFrom
+// needs to fill one input window, accounting for the samples horizontal
+// expansion trims.
+func (p *Predictor) MinHistory() int {
+	if p.Cfg.Scenario == MulExp {
+		return p.Cfg.Window + p.Cfg.ExpandFactor - 1
+	}
+	return p.Cfg.Window
+}

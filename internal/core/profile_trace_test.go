@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	obstrace "repro/internal/obs/trace"
+)
+
+// syntheticSeries builds a few correlated indicator series long enough
+// for a small windowed fit.
+func syntheticSeries(n int) [][]float64 {
+	base := make([]float64, n)
+	for t := range base {
+		base[t] = 0.5 + 0.4*math.Sin(float64(t)/7)
+	}
+	series := make([][]float64, 4)
+	series[0] = base
+	for i := 1; i < 4; i++ {
+		s := make([]float64, n)
+		for t := range s {
+			s[t] = base[t]*float64(i)*0.3 + 0.1*math.Cos(float64(t)/float64(3+i))
+		}
+		series[i] = s
+	}
+	return series
+}
+
+func TestPredictorTraceAndProfile(t *testing.T) {
+	tracer := obstrace.New(4)
+	tracer.SetEnabled(true)
+	prof := nn.NewProfiler()
+	p := NewPredictor(PredictorConfig{
+		Scenario: MulExp,
+		Window:   8,
+		Epochs:   2,
+		Patience: 1,
+		Model:    Config{Channels: []int{4, 4}},
+		Tracer:   tracer,
+		Profiler: prof,
+	})
+	if err := p.Fit(syntheticSeries(200), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	root := traces[0].Export()
+	if root.Name != "predictor.fit" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	var names []string
+	for _, sp := range root.Spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{
+		"dataprep.clean", "dataprep.normalize", "dataprep.screen",
+		"dataprep.expand", "dataprep.window", "train.fit",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing stage %q (have: %s)", want, joined)
+		}
+	}
+
+	stats := prof.Stats()
+	if len(stats) == 0 {
+		t.Fatal("profiler recorded nothing")
+	}
+	byName := map[string]nn.LayerStats{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	for _, want := range []string{"tcn[0]", "tcn[1]", "last", "fc", "attention", "out"} {
+		s, ok := byName[want]
+		if !ok {
+			t.Fatalf("no profile entry for stage %q (have %v)", want, stats)
+		}
+		if s.FwdCalls == 0 {
+			t.Errorf("stage %q never ran forward", want)
+		}
+		if s.BwdCalls == 0 {
+			t.Errorf("stage %q never ran backward", want)
+		}
+	}
+
+	// A profiled model must still serialize and round-trip.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([][]float64, 4)
+	src := syntheticSeries(200)
+	for i := range hist {
+		hist[i] = src[i][len(src[i])-40:]
+	}
+	want, err := p.ForecastFrom(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.ForecastFrom(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 {
+			t.Fatalf("loaded forecast diverges: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestMinHistoryAndNormBounds(t *testing.T) {
+	p := NewPredictor(PredictorConfig{Scenario: MulExp, Window: 8, ExpandFactor: 3})
+	if got := p.MinHistory(); got != 10 {
+		t.Fatalf("MulExp MinHistory = %d, want 10", got)
+	}
+	p2 := NewPredictor(PredictorConfig{Scenario: Mul, Window: 8})
+	if got := p2.MinHistory(); got != 8 {
+		t.Fatalf("Mul MinHistory = %d, want 8", got)
+	}
+	if mn, mx := p.NormBounds(); mn != nil || mx != nil {
+		t.Fatal("NormBounds before Fit must be nil")
+	}
+	pf := NewPredictor(PredictorConfig{Scenario: Uni, Window: 8, Epochs: 1, Model: Config{Channels: []int{4}}})
+	if err := pf.Fit(syntheticSeries(120), 0); err != nil {
+		t.Fatal(err)
+	}
+	mn, mx := pf.NormBounds()
+	if len(mn) != 4 || len(mx) != 4 {
+		t.Fatalf("bounds lengths %d/%d, want 4", len(mn), len(mx))
+	}
+	for i := range mn {
+		if mn[i] >= mx[i] {
+			t.Fatalf("degenerate bounds at %d: [%g, %g]", i, mn[i], mx[i])
+		}
+	}
+}

@@ -73,6 +73,18 @@ type Model struct {
 	fc   *nn.Dense
 	attn *nn.FeatureAttention
 	out  *nn.Dense
+
+	// stages is the Fig. 5 data path as an ordered pipeline — each TCN
+	// block its own stage, then last/fc/attention/out. Forward and
+	// Backward run through it, so Profile can splice timing wrappers in
+	// without touching the concrete fields that back serialization.
+	stages []modelStage
+}
+
+// modelStage is one named step of the model's data path.
+type modelStage struct {
+	name  string
+	layer nn.Layer
 }
 
 // NewModel builds an RPTCN model. The zero-value ablation flags yield the
@@ -100,33 +112,49 @@ func NewModel(r *tensor.RNG, cfg Config) *Model {
 		m.attn = nn.NewFeatureAttention(r, width)
 	}
 	m.out = nn.NewDense(r, width, cfg.Horizon)
+
+	for i, b := range m.tcn.Blocks {
+		m.stages = append(m.stages, modelStage{fmt.Sprintf("tcn[%d]", i), b})
+	}
+	m.stages = append(m.stages, modelStage{"last", m.last})
+	if m.fc != nil {
+		m.stages = append(m.stages, modelStage{"fc", m.fc})
+	}
+	if m.attn != nil {
+		m.stages = append(m.stages, modelStage{"attention", m.attn})
+	}
+	m.stages = append(m.stages, modelStage{"out", m.out})
 	return m
 }
 
 // Forward implements nn.Layer.
 func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	h := m.tcn.Forward(x, train)
-	h = m.last.Forward(h, train)
-	if m.fc != nil {
-		h = m.fc.Forward(h, train)
+	for _, s := range m.stages {
+		x = s.layer.Forward(x, train)
 	}
-	if m.attn != nil {
-		h = m.attn.Forward(h, train)
-	}
-	return m.out.Forward(h, train)
+	return x
 }
 
 // Backward implements nn.Layer.
 func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := m.out.Backward(grad)
-	if m.attn != nil {
-		g = m.attn.Backward(g)
+	for i := len(m.stages) - 1; i >= 0; i-- {
+		grad = m.stages[i].layer.Backward(grad)
 	}
-	if m.fc != nil {
-		g = m.fc.Backward(g)
+	return grad
+}
+
+// Profile wraps every stage of the data path with p's timing wrappers,
+// yielding a per-stage cost breakdown (tcn[0..n], last, fc, attention,
+// out) after the next forward/backward passes. Weights, Params order and
+// serialization are unaffected: the wrappers delegate Params and the
+// concrete fields stay unwrapped. A nil profiler is a no-op.
+func (m *Model) Profile(p *nn.Profiler) {
+	if p == nil {
+		return
 	}
-	g = m.last.Backward(g)
-	return m.tcn.Backward(g)
+	for i, s := range m.stages {
+		m.stages[i].layer = p.Wrap(s.name, s.layer)
+	}
 }
 
 // Params implements nn.Layer.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -20,6 +21,7 @@ import (
 // (listwise deletion keeps the indicator series aligned). The input is
 // [indicator][time]; all series must have equal length.
 func Clean(series [][]float64) [][]float64 {
+	defer observeStage(StageClean, time.Now())
 	if len(series) == 0 {
 		return nil
 	}
@@ -84,6 +86,7 @@ func FitNormalizer(series [][]float64) *Normalizer {
 
 // Transform applies the scaling, returning new slices.
 func (n *Normalizer) Transform(series [][]float64) [][]float64 {
+	defer observeStage(StageNormalize, time.Now())
 	if len(series) != len(n.Min) {
 		panic(fmt.Sprintf("dataprep: Transform expects %d series, got %d", len(n.Min), len(series)))
 	}
@@ -149,6 +152,7 @@ func ScreenTopHalf(series [][]float64, target int) []int {
 // ScreenTopK is ScreenTopHalf with an explicit count k (including the
 // target itself).
 func ScreenTopK(series [][]float64, target, k int) []int {
+	defer observeStage(StageScreen, time.Now())
 	corr := Correlations(series, target)
 	type ranked struct {
 		idx int
@@ -191,6 +195,7 @@ func Select(series [][]float64, idx []int) [][]float64 {
 // The first factor−1 time steps (which would index before the start) are
 // trimmed from every output channel so all channels stay aligned.
 func ExpandHorizontal(series [][]float64, factor int) [][]float64 {
+	defer observeStage(StageExpand, time.Now())
 	if factor < 1 {
 		panic(fmt.Sprintf("dataprep: expansion factor %d < 1", factor))
 	}
@@ -233,6 +238,7 @@ type WindowConfig struct {
 // X = [N, channels, Window] and targets
 // Y = [N, Horizon] holding the next Horizon values of the target series.
 func BuildSupervised(series [][]float64, cfg WindowConfig) (train.Dataset, error) {
+	defer observeStage(StageWindow, time.Now())
 	if len(series) == 0 {
 		return train.Dataset{}, errors.New("dataprep: no series")
 	}

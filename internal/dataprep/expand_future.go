@@ -3,6 +3,7 @@ package dataprep
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // This file implements the two data-expansion improvements the paper's
@@ -21,6 +22,7 @@ import (
 // then the difference channel. Output series are trimmed to stay aligned
 // (by max(factor−1, 1) samples).
 func ExpandWithDifference(series [][]float64, factor int) [][]float64 {
+	defer observeStage(StageExpand, time.Now())
 	if factor < 1 {
 		panic(fmt.Sprintf("dataprep: expansion factor %d < 1", factor))
 	}
@@ -98,6 +100,7 @@ func WeightedFactors(corr []float64, maxFactor int) []int {
 // trimming all channels by maxFactor−1 samples for alignment. Use it to
 // replay a weighted expansion with factors fixed at training time.
 func ExpandWithFactors(series [][]float64, factors []int, maxFactor int) [][]float64 {
+	defer observeStage(StageExpand, time.Now())
 	if len(series) != len(factors) {
 		panic(fmt.Sprintf("dataprep: %d series but %d factors", len(series), len(factors)))
 	}

@@ -1,0 +1,30 @@
+package dataprep
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Stage names of Algorithm 1's data pipeline, as used in the stage
+// duration metric and in predictor trace spans ("dataprep.<stage>").
+const (
+	StageClean     = "clean"
+	StageNormalize = "normalize"
+	StageScreen    = "screen"
+	StageExpand    = "expand"
+	StageWindow    = "window"
+)
+
+// observeStage records one stage execution into the default registry:
+//
+//	rptcn_dataprep_stage_seconds{stage="clean"|"normalize"|...}
+//
+// Each pipeline stage runs once per Fit/ForecastFrom, so the lookup cost
+// is irrelevant next to the stage work itself.
+func observeStage(stage string, start time.Time) {
+	obs.Default().Histogram("rptcn_dataprep_stage_seconds",
+		"Wall time of Algorithm 1 data-preparation stages.",
+		obs.ExponentialBuckets(1e-5, 4, 10),
+		obs.L("stage", stage)).Observe(time.Since(start).Seconds())
+}

@@ -345,8 +345,24 @@ func TestTimingStudyRows(t *testing.T) {
 	if res.Rows[2].ReceptiveField <= res.Rows[0].ReceptiveField {
 		t.Fatal("k=5 receptive field should exceed k=2")
 	}
-	if !strings.Contains(res.Format(), "Timing study") {
-		t.Fatal("Format missing title")
+	if len(res.Profiles) != 2 {
+		t.Fatalf("profiles = %d, want RPTCN + LSTM", len(res.Profiles))
+	}
+	for _, prof := range res.Profiles {
+		if len(prof.Layers) == 0 {
+			t.Fatalf("%s: empty layer breakdown", prof.Label)
+		}
+		for _, l := range prof.Layers {
+			if l.FwdCalls == 0 || l.BwdCalls == 0 {
+				t.Fatalf("%s: layer %q never trained: %+v", prof.Label, l.Name, l)
+			}
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"Timing study", "Per-layer breakdown", "tcn[0]", "attention", "0:lstm"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
 	}
 }
 

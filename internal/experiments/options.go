@@ -5,7 +5,10 @@
 // hook in the repository root's bench_test.go.
 package experiments
 
-import "repro/internal/train"
+import (
+	obstrace "repro/internal/obs/trace"
+	"repro/internal/train"
+)
 
 // Options controls the scale of every experiment. The zero value is the
 // full-fidelity configuration; Fast() returns a reduced configuration for
@@ -30,6 +33,9 @@ type Options struct {
 	Epochs int
 	// Rounds is the XGBoost boosting round count.
 	Rounds int
+	// Tracer records per-run span trees of every deep training run
+	// (experiments -trace-out). Nil or disabled costs nothing.
+	Tracer *obstrace.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -103,6 +103,7 @@ func deepTrainConfigLR(o Options, seed uint64, lr float64) train.Config {
 		RestoreBest: true,
 		ClipNorm:    5,
 		Hooks:       o.Hooks,
+		Tracer:      o.Tracer,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -32,9 +33,21 @@ type TimingRow struct {
 	InferP99       time.Duration
 }
 
+// LayerProfile is the per-layer forward/backward cost breakdown of one
+// model over a training epoch, captured through nn.Profiler.
+type LayerProfile struct {
+	Label  string
+	Layers []nn.LayerStats
+	Table  string // rendered nn.Profiler table
+}
+
 // TimingStudy is the collection of measured configurations.
 type TimingStudy struct {
 	Rows []TimingRow
+	// Profiles breaks one training epoch down by layer for the paper's
+	// architecture and the LSTM baseline, locating where the per-epoch
+	// budget actually goes (conv stack vs heads vs recurrent cell).
+	Profiles []LayerProfile
 }
 
 // RunTimingStudy measures training and inference cost across kernel sizes,
@@ -98,7 +111,43 @@ func RunTimingStudy(o Options) (*TimingStudy, error) {
 		row.InferP99 = secondsToDuration(hist.Quantile(0.99))
 		study.Rows = append(study.Rows, row)
 	}
+
+	// Per-layer breakdown of one training epoch: the paper's reference
+	// RPTCN against the LSTM baseline.
+	rptcnProf := nn.NewProfiler()
+	rptcn := core.NewModel(tensor.NewRNG(o.Seed), core.Config{
+		InChannels: p.channels,
+		KernelSize: 3,
+		Dropout:    0.1,
+		WeightNorm: true,
+		FCWidth:    32,
+		Horizon:    o.Horizon,
+	})
+	rptcn.Profile(rptcnProf)
+	study.Profiles = append(study.Profiles,
+		profileEpoch("RPTCN (k=3, 3 blocks x16)", rptcn, rptcnProf, p, o))
+
+	lstmProf := nn.NewProfiler()
+	lstm := models.NewLSTM(tensor.NewRNG(o.Seed), models.LSTMConfig{
+		InChannels: p.channels,
+		Horizon:    o.Horizon,
+	})
+	if seq, ok := lstm.(*nn.Sequential); ok {
+		lstmProf.WrapSequential(seq)
+	}
+	study.Profiles = append(study.Profiles,
+		profileEpoch("LSTM baseline", lstm, lstmProf, p, o))
 	return study, nil
+}
+
+// profileEpoch trains model for one epoch with prof's wrappers in place
+// and returns the captured per-layer breakdown.
+func profileEpoch(label string, model nn.Layer, prof *nn.Profiler, p *preparedData, o Options) LayerProfile {
+	cfg := deepTrainConfig(o, o.Seed)
+	cfg.Epochs = 1
+	cfg.Patience = 0
+	train.Fit(model, p.tr, p.va, cfg)
+	return LayerProfile{Label: label, Layers: prof.Stats(), Table: prof.Table()}
 }
 
 func secondsToDuration(s float64) time.Duration {
@@ -116,6 +165,9 @@ func (s *TimingStudy) Format() string {
 			r.Label, r.Params, r.ReceptiveField,
 			r.EpochTime.Round(time.Millisecond), r.InferLatency.Round(time.Microsecond),
 			r.InferP50.Round(time.Microsecond), r.InferP99.Round(time.Microsecond))
+	}
+	for _, p := range s.Profiles {
+		fmt.Fprintf(&b, "\nPer-layer breakdown, one training epoch: %s\n%s", p.Label, p.Table)
 	}
 	return b.String()
 }

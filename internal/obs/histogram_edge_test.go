@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEmptyHistogram pins the empty-histogram contract: every
+// quantile (including the boundaries) is NaN, never 0 or a bucket bound.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(0.001, 2, 10))
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("empty histogram Quantile(%g) = %g, want NaN", q, h.Quantile(q))
+		}
+	}
+	if !math.IsNaN(h.Mean()) {
+		t.Errorf("empty histogram Mean() = %g, want NaN", h.Mean())
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+// TestQuantileSingleObservation: with one sample, min == max, so the
+// min/max clamp must make every quantile exactly the observed value —
+// regardless of how wide the containing bucket is.
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []float64{0.0017, 1, 999} { // mid-bucket, boundary, +Inf overflow
+		h := NewHistogram([]float64{0.001, 1, 100})
+		h.Observe(v)
+		for _, q := range []float64{0, 0.25, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("Observe(%g): Quantile(%g) = %g, want exactly %g", v, q, got, v)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from several
+// goroutines while snapshots, expositions, and quantiles are read
+// concurrently. Run under -race this checks the lock discipline; the
+// final totals check that no observation was lost.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := r.Histogram("concurrent_seconds", "t", ExponentialBuckets(1e-6, 4, 12))
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) * 1e-4)
+			}
+		}(g)
+	}
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		h := r.Histogram("concurrent_seconds", "t", nil)
+		for i := 0; i < 200; i++ {
+			snap := h.snapshotValue()
+			// Cumulative bucket counts must be monotone at every instant.
+			var prev uint64
+			for _, b := range snap.Buckets {
+				if b.Count < prev {
+					t.Errorf("non-monotone cumulative buckets: %d after %d", b.Count, prev)
+					return
+				}
+				prev = b.Count
+			}
+			h.Quantile(0.5)
+			_, _ = r.WriteTo(io.Discard)
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-readDone
+	h := r.Histogram("concurrent_seconds", "t", nil)
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("count = %d, want %d", got, writers*perG)
+	}
+	snap := h.snapshotValue()
+	if last := snap.Buckets[len(snap.Buckets)-1]; last.Count != writers*perG {
+		t.Fatalf("+Inf bucket = %d, want %d", last.Count, writers*perG)
+	}
+}

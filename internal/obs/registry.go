@@ -81,6 +81,12 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	order    []string // registration order for stable exposition
+
+	// collectors run before every WriteTo/Snapshot to refresh gauges
+	// whose source of truth lives outside the registry (see
+	// RegisterCollector and RegisterRuntimeMetrics in runtime.go).
+	collectorMu sync.Mutex
+	collectors  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -266,6 +272,7 @@ type Snapshot struct {
 // metric updates; each series is read atomically but the set as a whole
 // is not a consistent cut.
 func (r *Registry) Snapshot() []Snapshot {
+	r.collect()
 	r.mu.RLock()
 	names := make([]string, len(r.order))
 	copy(names, r.order)
@@ -296,6 +303,7 @@ func (r *Registry) Snapshot() []Snapshot {
 // WriteTo renders the registry in the Prometheus text exposition format
 // (version 0.0.4). It implements io.WriterTo.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.collect()
 	cw := &countingWriter{w: w}
 	r.mu.RLock()
 	fams := make([]*family, 0, len(r.order))

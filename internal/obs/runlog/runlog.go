@@ -1,0 +1,314 @@
+// Package runlog is the run-artifact journal: one append-only JSONL
+// event stream per training run, written under a run directory, so a
+// run leaves a persistent, machine-readable record beyond stdout —
+// TensorBoard-like scalars without a dependency.
+//
+// Event stream shape (one JSON object per line):
+//
+//	{"t":"...","type":"config","data":{"scenario":"Mul-Exp","window":32,...}}
+//	{"t":"...","type":"epoch","data":{"epoch":0,"train_loss":...,"valid_loss":...,...}}
+//	{"t":"...","type":"early_stop","data":{"epoch":17,"best_epoch":7,...}}
+//	{"t":"...","type":"profile","data":{"layers":[{"layer":"tcn[0]","fwd_ns":...},...]}}
+//	{"t":"...","type":"final","data":{"test_mse":...,"test_mae":...}}
+//
+// Producers: train.NewJournalHook streams epoch events; commands add
+// config/profile/final events around it. Consumer: cmd/runlog (and
+// Summarize here) renders a run back into text tables.
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one journal line.
+type Event struct {
+	Time time.Time      `json:"t"`
+	Type string         `json:"type"`
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// Well-known event types.
+const (
+	TypeConfig    = "config"
+	TypeEpoch     = "epoch"
+	TypeEarlyStop = "early_stop"
+	TypeProfile   = "profile"
+	TypeFinal     = "final"
+)
+
+// Run is an open journal. Log is safe for concurrent use; write errors
+// are sticky and reported by Err/Close rather than per call, so hooks
+// can log unconditionally.
+type Run struct {
+	mu   sync.Mutex
+	w    io.Writer
+	c    io.Closer
+	path string
+	err  error
+}
+
+// New wraps an arbitrary writer as a Run (tests, in-memory use).
+func New(w io.Writer) *Run {
+	r := &Run{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		r.c = c
+	}
+	return r
+}
+
+// Create opens a new journal file under dir (created if missing), named
+// run-<UTC timestamp>.jsonl; on collision a numeric suffix is added so
+// concurrent runs never share a file.
+func Create(dir string) (*Run, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	base := "run-" + time.Now().UTC().Format("20060102-150405")
+	for i := 0; ; i++ {
+		name := base
+		if i > 0 {
+			name = fmt.Sprintf("%s-%d", base, i)
+		}
+		path := filepath.Join(dir, name+".jsonl")
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("runlog: %w", err)
+		}
+		return &Run{w: bufio.NewWriter(f), c: f, path: path}, nil
+	}
+}
+
+// Path returns the journal file path ("" for in-memory runs).
+func (r *Run) Path() string { return r.path }
+
+// Log appends one event. Nil-safe, so callers can journal
+// unconditionally and pass a nil *Run when journaling is off.
+func (r *Run) Log(typ string, data map[string]any) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: time.Now().UTC(), Type: typ, Data: data}
+	line, err := json.Marshal(ev)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		r.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (r *Run) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Close flushes and closes the journal. Nil-safe.
+func (r *Run) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bw, ok := r.w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	if r.c != nil {
+		if err := r.c.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+		r.c = nil
+	}
+	return r.err
+}
+
+// Read parses a journal stream. Unknown event types are preserved;
+// malformed lines abort with an error naming the line.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var out []Event
+	for i := 1; sc.Scan(); i++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("runlog: line %d: %w", i, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile reads a journal file.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Latest returns the newest *.jsonl journal in dir, by modification
+// time (file names alone cannot order same-second collision suffixes).
+func Latest(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return "", fmt.Errorf("runlog: %w", err)
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("runlog: no journals in %s", dir)
+	}
+	sort.Strings(matches)
+	best, bestMod := "", time.Time{}
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if best == "" || info.ModTime().After(bestMod) {
+			best, bestMod = m, info.ModTime()
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("runlog: no readable journals in %s", dir)
+	}
+	return best, nil
+}
+
+// Summarize renders a journal as text tables: the run config, the
+// per-epoch scalar table, the per-layer profile (when present), and the
+// final metrics.
+func Summarize(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		if ev.Type == TypeConfig {
+			b.WriteString("config: ")
+			b.WriteString(flatKV(ev.Data))
+			b.WriteString("\n")
+		}
+	}
+
+	var epochs []Event
+	for _, ev := range events {
+		if ev.Type == TypeEpoch {
+			epochs = append(epochs, ev)
+		}
+	}
+	if len(epochs) > 0 {
+		fmt.Fprintf(&b, "\n%5s %12s %12s %12s %10s %10s %5s\n",
+			"epoch", "train_loss", "valid_loss", "grad_norm", "lr", "dur", "best")
+		for _, ev := range epochs {
+			best := ""
+			if improved, _ := ev.Data["improved"].(bool); improved {
+				best = "*"
+			}
+			fmt.Fprintf(&b, "%5v %12s %12s %12s %10s %10s %5s\n",
+				num(ev.Data["epoch"]),
+				fmtFloat(ev.Data["train_loss"]), fmtFloat(ev.Data["valid_loss"]),
+				fmtFloat(ev.Data["grad_norm"]), fmtFloat(ev.Data["lr"]),
+				fmtDur(ev.Data["dur_ns"]), best)
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.Type {
+		case TypeEarlyStop:
+			fmt.Fprintf(&b, "\nearly stop at epoch %v (best epoch %v, best valid loss %s)\n",
+				num(ev.Data["epoch"]), num(ev.Data["best_epoch"]), fmtFloat(ev.Data["best_valid_loss"]))
+		case TypeProfile:
+			b.WriteString("\nper-layer profile:\n")
+			b.WriteString(profileTable(ev.Data))
+		case TypeFinal:
+			b.WriteString("\nfinal: ")
+			b.WriteString(flatKV(ev.Data))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// profileTable renders a profile event's {"layers": [...]} payload.
+func profileTable(data map[string]any) string {
+	layers, _ := data["layers"].([]any)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %9s %12s %12s\n", "layer", "calls", "fwd total", "bwd total")
+	for _, l := range layers {
+		m, ok := l.(map[string]any)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %9v %12s %12s\n",
+			m["layer"], num(m["fwd_calls"]), fmtDur(m["fwd_ns"]), fmtDur(m["bwd_ns"]))
+	}
+	return b.String()
+}
+
+// flatKV renders a data map as sorted key=value pairs.
+func flatKV(data map[string]any) string {
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, data[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// num renders JSON numbers (float64 after round-trip) without a
+// trailing .0 for integral values.
+func num(v any) any {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int64(f)
+	}
+	return v
+}
+
+func fmtFloat(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.6f", f)
+}
+
+func fmtDur(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return "-"
+	}
+	return time.Duration(int64(f)).Round(time.Millisecond).String()
+}

@@ -1,0 +1,133 @@
+package runlog
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRoundTripAndSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	r.Log(TypeConfig, map[string]any{"scenario": "Mul-Exp", "window": 32, "epochs": 2})
+	r.Log(TypeEpoch, map[string]any{
+		"epoch": 0, "train_loss": 0.02, "valid_loss": 0.018, "grad_norm": 1.5,
+		"lr": 0.001, "dur_ns": int64(250e6), "improved": true, "best_epoch": 0,
+	})
+	r.Log(TypeEpoch, map[string]any{
+		"epoch": 1, "train_loss": 0.015, "valid_loss": 0.02,
+		"lr": 0.001, "dur_ns": int64(240e6), "improved": false, "best_epoch": 0,
+	})
+	r.Log(TypeEarlyStop, map[string]any{"epoch": 1, "best_epoch": 0, "best_valid_loss": 0.018, "patience": 1})
+	r.Log(TypeProfile, map[string]any{"layers": []any{
+		map[string]any{"layer": "tcn[0]", "fwd_calls": 40, "bwd_calls": 40, "fwd_ns": int64(9e6), "bwd_ns": int64(12e6)},
+	}})
+	r.Log(TypeFinal, map[string]any{"test_mse": 0.0012, "test_mae": 0.02})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	if events[0].Type != TypeConfig || events[0].Time.IsZero() {
+		t.Fatalf("bad first event: %+v", events[0])
+	}
+
+	sum := Summarize(events)
+	for _, want := range []string{
+		"config: epochs=2 scenario=Mul-Exp window=32",
+		"train_loss", "0.020000", "0.015000",
+		"early stop at epoch 1 (best epoch 0",
+		"per-layer profile:", "tcn[0]", "9ms", "12ms",
+		"final: test_mae=0.02 test_mse=0.0012",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// Epoch without grad_norm renders a placeholder, not a crash.
+	if !strings.Contains(sum, "-") {
+		t.Errorf("missing placeholder for absent grad_norm:\n%s", sum)
+	}
+}
+
+func TestCreateLatestAndReadFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runs")
+	a, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Log(TypeConfig, map[string]any{"run": 1})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Create(dir) // same second → collision suffix
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Log(TypeConfig, map[string]any{"run": 2})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Path() == b.Path() {
+		t.Fatalf("two runs share a path: %s", a.Path())
+	}
+	latest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != b.Path() {
+		t.Fatalf("Latest = %s, want %s", latest, b.Path())
+	}
+	events, err := ReadFile(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Data["run"] != float64(2) {
+		t.Fatalf("unexpected events: %+v", events)
+	}
+}
+
+func TestNilRunIsSafe(t *testing.T) {
+	var r *Run
+	r.Log(TypeEpoch, map[string]any{"epoch": 0})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentLog(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Log(TypeEpoch, map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 800 {
+		t.Fatalf("got %d events, want 800", len(events))
+	}
+}

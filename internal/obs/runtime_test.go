@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsRefreshAtScrapeTime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"rptcn_go_goroutines",
+		"rptcn_go_heap_alloc_bytes",
+		"rptcn_go_heap_sys_bytes",
+		"rptcn_go_gc_pause_seconds_total",
+		"rptcn_go_gc_runs_total",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// The collector must have filled in live values at scrape time.
+	if g := r.Gauge("rptcn_go_goroutines", ""); g.Value() < 1 {
+		t.Errorf("goroutine gauge = %v, want >= 1", g.Value())
+	}
+	if g := r.Gauge("rptcn_go_heap_alloc_bytes", ""); g.Value() <= 0 {
+		t.Errorf("heap alloc gauge = %v, want > 0", g.Value())
+	}
+	// Double registration must not have duplicated collectors.
+	r.collectorMu.Lock()
+	n := len(r.collectors)
+	r.collectorMu.Unlock()
+	if n != 1 {
+		t.Errorf("collectors registered %d times, want 1", n)
+	}
+}
+
+func TestRegisterCollectorRunsOnSnapshot(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	g := r.Gauge("refresh_me", "")
+	r.RegisterCollector(func() {
+		calls++
+		g.Set(float64(calls))
+	})
+	r.Snapshot()
+	r.Snapshot()
+	if calls != 2 {
+		t.Fatalf("collector ran %d times, want 2", calls)
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+	r.RegisterCollector(nil) // must be ignored
+	r.Snapshot()
+	if calls != 3 {
+		t.Fatalf("collector ran %d times after nil registration, want 3", calls)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SpanExport is the JSON form of one span (and, recursively, its
+// children). One completed root trace serializes to one JSONL line.
+type SpanExport struct {
+	Name  string         `json:"name"`
+	Start time.Time      `json:"start"`
+	DurNS int64          `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	Spans []SpanExport   `json:"spans,omitempty"`
+}
+
+// Export snapshots the span tree into its serializable form. Safe to
+// call while children are still being added; an unended span exports
+// with DurNS 0. Nil-safe (returns a zero SpanExport).
+func (s *Span) Export() SpanExport {
+	if s == nil {
+		return SpanExport{}
+	}
+	s.mu.Lock()
+	out := SpanExport{Name: s.name, Start: s.start, DurNS: int64(s.dur)}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Spans = append(out.Spans, c.Export())
+	}
+	return out
+}
+
+// WriteJSONL writes the retained traces to w, one JSON object per line,
+// oldest first (so appending exports keeps chronological order).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	traces := t.Traces()
+	enc := json.NewEncoder(w)
+	for i := len(traces) - 1; i >= 0; i-- {
+		if err := enc.Encode(traces[i].Export()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the retained traces as JSON lines — mount it at
+// /debug/traces on the debug sidecar. Query parameter n bounds the
+// number of traces returned (most recent n).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traces := t.Traces()
+		if v := r.URL.Query().Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i := len(traces) - 1; i >= 0; i-- {
+			if err := enc.Encode(traces[i].Export()); err != nil {
+				return
+			}
+		}
+	})
+}

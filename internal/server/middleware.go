@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
 )
 
 // instrumentation holds the serving-path metric families. All series are
@@ -13,12 +14,14 @@ import (
 // zero) from the first scrape.
 type instrumentation struct {
 	reg      *obs.Registry
+	tracer   *obstrace.Tracer // may be nil
 	inFlight *obs.Gauge
 }
 
-func newInstrumentation(reg *obs.Registry) *instrumentation {
+func newInstrumentation(reg *obs.Registry, tracer *obstrace.Tracer) *instrumentation {
 	return &instrumentation{
 		reg:      reg,
+		tracer:   tracer,
 		inFlight: reg.Gauge("rptcn_http_in_flight", "Requests currently being served."),
 	}
 }
@@ -42,9 +45,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 }
 
 // wrap instruments one route: request counter (by path and code), error
-// counter, in-flight gauge, and a latency histogram. The forecast
-// endpoint additionally feeds rptcn_forecast_latency_seconds, the SLO
-// histogram for the paper's real-time prediction mode.
+// counter, in-flight gauge, a latency histogram, and (when tracing is
+// enabled) one "http.request" span per request. The forecast endpoint
+// additionally feeds rptcn_forecast_latency_seconds, the SLO histogram
+// for the paper's real-time prediction mode.
+//
+// The route label is always one of the registered route patterns (the
+// catch-all handler reports "other"), never the raw request path, so the
+// path label's cardinality is bounded no matter what clients probe.
 func (in *instrumentation) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	lat := in.reg.Histogram("rptcn_http_request_seconds",
 		"HTTP request latency by route.", nil, obs.L("path", route))
@@ -62,12 +70,19 @@ func (in *instrumentation) wrap(route string, h http.HandlerFunc) http.HandlerFu
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		in.inFlight.Inc()
+		var span *obstrace.Span
+		if in.tracer != nil {
+			span = in.tracer.Start("http.request",
+				obstrace.String("path", route), obstrace.String("method", r.Method))
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r)
 		in.inFlight.Dec()
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
+		span.SetAttr(obstrace.Int("status", rec.status))
+		span.End()
 		elapsed := time.Since(start).Seconds()
 		lat.Observe(elapsed)
 		if forecastLat != nil {

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
+	"repro/internal/trace"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestForecastFeedsQualityGauges(t *testing.T) {
+	p, e := fitted(t)
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(p, WithRegistry(reg)))
+	defer ts.Close()
+
+	tail := make([][]float64, trace.NumIndicators)
+	for i := range tail {
+		s := e.Metrics[i]
+		tail[i] = s[len(s)-64:]
+	}
+	resp := forecastReq(t, ts.URL, ForecastRequest{Indicators: tail})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// 64 samples >> MinHistory+horizon, so the backtest must have run:
+	// horizon errors accumulated, gauges set.
+	snaps := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		snaps[s.Name+s.Labels] = s.Value
+	}
+	if got := snaps["rptcn_serving_backtest_samples_total"]; got != float64(p.Cfg.Horizon) {
+		t.Fatalf("backtest samples = %v, want %d", got, p.Cfg.Horizon)
+	}
+	if snaps["rptcn_serving_backtest_mae"] <= 0 {
+		t.Fatalf("backtest MAE not set: %v", snaps["rptcn_serving_backtest_mae"])
+	}
+	if snaps["rptcn_serving_backtest_mse"] <= 0 {
+		t.Fatalf("backtest MSE not set: %v", snaps["rptcn_serving_backtest_mse"])
+	}
+	// The tail comes from the training series, so it lies inside the
+	// fitted bounds: the out-of-range ratio must be ~0.
+	if oor := snaps["rptcn_serving_input_oor_ratio"]; oor != 0 {
+		t.Fatalf("in-distribution input flagged out of range: %v", oor)
+	}
+
+	// Shifted input (scaled far beyond the training max) must raise the
+	// out-of-range ratio.
+	shifted := make([][]float64, len(tail))
+	for i, s := range tail {
+		o := make([]float64, len(s))
+		for j, v := range s {
+			o[j] = v*10 + 1000
+		}
+		shifted[i] = o
+	}
+	resp = forecastReq(t, ts.URL, ForecastRequest{Indicators: shifted})
+	resp.Body.Close()
+	for _, s := range reg.Snapshot() {
+		if s.Name == "rptcn_serving_input_oor_ratio" && s.Value <= 0 {
+			t.Fatalf("shifted input not flagged: %v", s.Value)
+		}
+	}
+}
+
+func TestShortHistorySkipsBacktest(t *testing.T) {
+	p, e := fitted(t)
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(p, WithRegistry(reg)))
+	defer ts.Close()
+
+	// Just enough history to forecast (MinHistory) but not enough to
+	// hide horizon samples and still fill a window.
+	tail := make([][]float64, trace.NumIndicators)
+	for i := range tail {
+		s := e.Metrics[i]
+		tail[i] = s[len(s)-p.MinHistory():]
+	}
+	resp := forecastReq(t, ts.URL, ForecastRequest{Indicators: tail})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := scrape(t, ts.URL)
+	if !strings.Contains(out, "rptcn_serving_backtest_skipped_total 1") {
+		t.Fatalf("short history not counted as skipped:\n%s", grepMetric(out, "rptcn_serving_backtest"))
+	}
+	if !strings.Contains(out, "rptcn_serving_backtest_samples_total 0") {
+		t.Fatalf("backtest ran on short history:\n%s", grepMetric(out, "rptcn_serving_backtest"))
+	}
+}
+
+func grepMetric(exposition, prefix string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func TestUnknownPathsCollapseToOther(t *testing.T) {
+	p, _ := fitted(t)
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(p, WithRegistry(reg)))
+	defer ts.Close()
+
+	for _, path := range []string{"/admin", "/wp-login.php", "/v1/nope", "/probe/9999"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	out := scrape(t, ts.URL)
+	if !strings.Contains(out, `rptcn_http_requests_total{code="404",path="other"} 4`) {
+		t.Fatalf("unknown paths not collapsed:\n%s", grepMetric(out, "rptcn_http_requests_total"))
+	}
+	for _, leaked := range []string{"wp-login", "/admin", "/probe"} {
+		if strings.Contains(out, leaked) {
+			t.Fatalf("raw path %q leaked into metrics", leaked)
+		}
+	}
+}
+
+func TestRequestSpans(t *testing.T) {
+	p, _ := fitted(t)
+	tracer := obstrace.New(8)
+	tracer.SetEnabled(true)
+	ts := httptest.NewServer(New(p, WithRegistry(obs.NewRegistry()), WithTracer(tracer)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	traces := tracer.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	// Most recent first.
+	got := traces[0].Export()
+	if got.Name != "http.request" || got.Attrs["path"] != "other" || got.Attrs["status"] != int64(404) {
+		t.Fatalf("unexpected span: %+v", got)
+	}
+	healthy := traces[1].Export()
+	if healthy.Attrs["path"] != "/healthz" || healthy.Attrs["status"] != int64(200) {
+		t.Fatalf("unexpected span: %+v", healthy)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
 	"repro/internal/trace"
 )
 
@@ -36,6 +37,8 @@ type Server struct {
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	log       *slog.Logger
+	tracer    *obstrace.Tracer
+	quality   *qualityMonitor
 
 	inferMu sync.Mutex // guards predictor.ForecastFrom
 }
@@ -54,6 +57,12 @@ func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.log = l }
 }
 
+// WithTracer records one "http.request" span per served request into t
+// (spans are collected only while t is enabled).
+func WithTracer(t *obstrace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
 // New wraps a fitted predictor. It panics if p is nil.
 func New(p *core.Predictor, opts ...Option) *Server {
 	if p == nil {
@@ -69,12 +78,33 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	if s.log == nil {
 		s.log = obs.Logger("server")
 	}
-	in := newInstrumentation(s.reg)
+	s.quality = newQualityMonitor(s.reg, p)
+	in := newInstrumentation(s.reg, s.tracer)
 	s.mux.HandleFunc("GET /healthz", in.wrap("/healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /v1/model", in.wrap("/v1/model", s.handleModel))
 	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.handleForecast))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
+	// Method-less fallbacks keep 405 semantics for known paths (a bare
+	// catch-all would swallow wrong-method requests as 404s).
+	s.mux.HandleFunc("/v1/forecast", in.wrap("/v1/forecast", methodNotAllowed(http.MethodPost)))
+	s.mux.HandleFunc("/healthz", in.wrap("/healthz", methodNotAllowed(http.MethodGet)))
+	s.mux.HandleFunc("/v1/model", in.wrap("/v1/model", methodNotAllowed(http.MethodGet)))
+	// Cardinality guard: every unregistered path lands here and is
+	// instrumented under the single route label "other", so arbitrary
+	// probing cannot mint new metric series.
+	s.mux.HandleFunc("/", in.wrap("other", s.handleNotFound))
 	return s
+}
+
+// methodNotAllowed rejects a request to a known path with the wrong
+// method, advertising the allowed one.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Allow", allow)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		fmt.Fprintln(w, `{"error":"method not allowed"}`)
+	}
 }
 
 // Registry returns the metrics registry the server reports into.
@@ -82,6 +112,10 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleNotFound(w http.ResponseWriter, _ *http.Request) {
+	s.writeError(w, http.StatusNotFound, "not found")
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -152,6 +186,15 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	// Online quality monitoring: backtest against the actuals the request
+	// already carries and track input drift vs the training bounds. One
+	// extra inference per request — acceptable at this model size; the
+	// skipped counter says when histories are too short to afford it.
+	s.quality.observe(req.Indicators, func(h [][]float64) ([]float64, error) {
+		s.inferMu.Lock()
+		defer s.inferMu.Unlock()
+		return s.predictor.ForecastFrom(h)
+	})
 	s.writeJSON(w, http.StatusOK, ForecastResponse{
 		Forecast: forecast,
 		Target:   targetName(s.predictor),

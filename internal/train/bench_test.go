@@ -1,0 +1,52 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	obstrace "repro/internal/obs/trace"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// benchFit trains a small MLP for a fixed number of epochs; the three
+// benchmark variants differ only in tracing wiring, so comparing them
+// measures the instrumentation overhead (acceptance: a disabled tracer
+// must stay within noise of no tracer at all).
+func benchFit(b *testing.B, tracer *obstrace.Tracer) {
+	r := tensor.NewRNG(1)
+	n, in := 256, 8
+	x := tensor.New(n, in)
+	y := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < in; j++ {
+			v := r.Float64()
+			x.Data[i*in+j] = v
+			s += v
+		}
+		y.Data[i] = s / float64(in)
+	}
+	tr := Dataset{X: x, Y: y}
+	va := tr.Subset(0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := nn.NewSequential(nn.NewDense(tensor.NewRNG(2), in, 16), &nn.ReLU{}, nn.NewDense(tensor.NewRNG(3), 16, 1))
+		Fit(model, tr, va, Config{
+			Epochs:    4,
+			BatchSize: 32,
+			Optimizer: opt.NewAdam(1e-3),
+			Tracer:    tracer,
+		})
+	}
+}
+
+func BenchmarkFit(b *testing.B)          { benchFit(b, nil) }
+func BenchmarkFitTracerOff(b *testing.B) { benchFit(b, obstrace.New(8)) }
+
+func BenchmarkFitTracerOn(b *testing.B) {
+	t := obstrace.New(8)
+	t.SetEnabled(true)
+	benchFit(b, t)
+}

@@ -1,0 +1,62 @@
+package train
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/obs/runlog"
+)
+
+// NewJournalHook returns a hook that streams per-epoch scalars (and the
+// early-stop event) into a run journal. Combined with a config event
+// before Fit and profile/final events after it, the journal is the
+// persistent record of the run that cmd/runlog renders back into
+// tables. A nil run yields a hook that does nothing.
+func NewJournalHook(r *runlog.Run) Hook {
+	return FuncHook{
+		EpochEnd: func(s EpochStats) {
+			data := map[string]any{
+				"epoch":      s.Epoch,
+				"train_loss": s.TrainLoss,
+				"valid_loss": s.ValidLoss,
+				"lr":         s.LR,
+				"dur_ns":     s.Duration.Nanoseconds(),
+				"improved":   s.Improved,
+				"best_epoch": s.BestEpoch,
+			}
+			// NaN is not valid JSON; omit the key instead.
+			if !math.IsNaN(s.GradNorm) {
+				data["grad_norm"] = s.GradNorm
+			}
+			r.Log(runlog.TypeEpoch, data)
+		},
+		EarlyStop: func(s StopInfo) {
+			r.Log(runlog.TypeEarlyStop, map[string]any{
+				"epoch":           s.Epoch,
+				"best_epoch":      s.BestEpoch,
+				"best_valid_loss": s.BestValidLoss,
+				"patience":        s.Patience,
+			})
+		},
+	}
+}
+
+// ProfileData converts a profiler's per-layer stats into the payload of
+// a runlog profile event ({"layers": [...]}).
+func ProfileData(p *nn.Profiler) map[string]any {
+	if p == nil {
+		return nil
+	}
+	stats := p.Stats()
+	layers := make([]any, 0, len(stats))
+	for _, s := range stats {
+		layers = append(layers, map[string]any{
+			"layer":     s.Name,
+			"fwd_calls": s.FwdCalls,
+			"bwd_calls": s.BwdCalls,
+			"fwd_ns":    s.Fwd.Nanoseconds(),
+			"bwd_ns":    s.Bwd.Nanoseconds(),
+		})
+	}
+	return map[string]any{"layers": layers}
+}

@@ -1,0 +1,69 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	obstrace "repro/internal/obs/trace"
+	"repro/internal/tensor"
+)
+
+func tinyDataset(n, in int) Dataset {
+	r := tensor.NewRNG(9)
+	x := tensor.New(n, in)
+	y := tensor.New(n, 1)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	for i := range y.Data {
+		y.Data[i] = r.Float64()
+	}
+	return Dataset{X: x, Y: y}
+}
+
+func TestFitRecordsSpanTree(t *testing.T) {
+	tracer := obstrace.New(4)
+	tracer.SetEnabled(true)
+	ds := tinyDataset(40, 4)
+	model := nn.NewSequential(nn.NewDense(tensor.NewRNG(1), 4, 1))
+	Fit(model, ds, ds.Subset(0, 8), Config{Epochs: 2, BatchSize: 16, Tracer: tracer})
+
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	root := traces[0].Export()
+	if root.Name != "train.fit" || root.DurNS <= 0 {
+		t.Fatalf("bad root: %+v", root)
+	}
+	if root.Attrs["train_samples"] != int64(40) {
+		t.Fatalf("root attrs: %+v", root.Attrs)
+	}
+	if len(root.Spans) != 2 {
+		t.Fatalf("got %d epoch spans, want 2", len(root.Spans))
+	}
+	epoch := root.Spans[0]
+	if epoch.Name != "epoch" {
+		t.Fatalf("child name %q", epoch.Name)
+	}
+	// 3 batches of 16/16/8 plus the validation pass.
+	if len(epoch.Spans) != 4 {
+		t.Fatalf("epoch has %d children, want 4 (3 batches + validate)", len(epoch.Spans))
+	}
+	if epoch.Spans[3].Name != "validate" {
+		t.Fatalf("last epoch child = %q, want validate", epoch.Spans[3].Name)
+	}
+	if _, ok := epoch.Attrs["train_loss"]; !ok {
+		t.Fatalf("epoch span missing train_loss attr: %+v", epoch.Attrs)
+	}
+}
+
+func TestFitWithoutTracerRecordsNothing(t *testing.T) {
+	tracer := obstrace.New(4) // stays disabled
+	ds := tinyDataset(20, 3)
+	model := nn.NewSequential(nn.NewDense(tensor.NewRNG(1), 3, 1))
+	Fit(model, ds, ds.Subset(0, 4), Config{Epochs: 1, BatchSize: 8, Tracer: tracer})
+	if got := len(tracer.Traces()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d traces", got)
+	}
+}

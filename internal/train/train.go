@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	obstrace "repro/internal/obs/trace"
 	"repro/internal/opt"
 	"repro/internal/tensor"
 )
@@ -118,6 +119,12 @@ type Config struct {
 	// They fire in slice order, after the built-in History hook, and
 	// always before best-weight restoration.
 	Hooks []Hook
+	// Tracer records a hierarchical "train.fit" → "epoch" → "batch" span
+	// tree for the run. Nil (or a disabled tracer) costs only nil checks.
+	Tracer *obstrace.Tracer
+	// TraceParent, when set, nests the run's spans under an existing span
+	// (e.g. a predictor.fit trace) instead of starting a new root.
+	TraceParent *obstrace.Span
 }
 
 func (c *Config) fillDefaults() {
@@ -145,6 +152,8 @@ func (c *Config) fillDefaults() {
 // OnEarlyStop fires before any best-weight restoration.
 func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	cfg.fillDefaults()
+	fitSpan := startFitSpan(cfg, tr, va)
+	defer fitSpan.End()
 	rng := tensor.NewRNG(cfg.Seed)
 	hist := &History{BestEpoch: -1}
 	hooks := make([]Hook, 0, 1+len(cfg.Hooks))
@@ -165,6 +174,7 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochSpan := fitSpan.Start("epoch", obstrace.Int("epoch", epoch))
 		lr := cfg.Schedule.Rate(epoch, baseLR)
 		cfg.Optimizer.SetLR(lr)
 		if cfg.Shuffle {
@@ -179,6 +189,7 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 			if hi > n {
 				hi = n
 			}
+			batchSpan := epochSpan.Start("batch", obstrace.Int("batch", batches))
 			batch := tr.Gather(order[lo:hi])
 			nn.ZeroGrad(model)
 			pred := model.Forward(batch.X, true)
@@ -196,6 +207,8 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 			if !math.IsNaN(gnorm) {
 				normSum += gnorm
 			}
+			batchSpan.SetAttr(obstrace.Float("loss", l))
+			batchSpan.End()
 			for _, h := range hooks {
 				h.OnBatchEnd(BatchStats{
 					Epoch: epoch, Batch: batches, Size: hi - lo, Loss: l, GradNorm: gnorm,
@@ -204,7 +217,9 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 			batches++
 		}
 
+		validSpan := epochSpan.Start("validate")
 		vl := EvaluateLoss(model, va, cfg.Loss)
+		validSpan.End()
 		improved := vl < best
 		if improved {
 			best = vl
@@ -233,6 +248,12 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 		for _, h := range hooks {
 			h.OnEpochEnd(stats)
 		}
+		epochSpan.SetAttr(
+			obstrace.Float("train_loss", stats.TrainLoss),
+			obstrace.Float("valid_loss", vl),
+			obstrace.Bool("improved", improved),
+		)
+		epochSpan.End()
 		if !improved && cfg.Patience > 0 {
 			wait++
 			if wait >= cfg.Patience {
@@ -252,6 +273,25 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 		restore(model, bestParams)
 	}
 	return hist
+}
+
+// startFitSpan opens the run's "train.fit" span — nested under
+// cfg.TraceParent when set, a new root on cfg.Tracer otherwise, nil
+// (a no-op span) when tracing is off.
+func startFitSpan(cfg Config, tr, va Dataset) *obstrace.Span {
+	attrs := []obstrace.Attr{
+		obstrace.Int("train_samples", tr.Len()),
+		obstrace.Int("valid_samples", va.Len()),
+		obstrace.Int("batch_size", cfg.BatchSize),
+		obstrace.Int("epochs", cfg.Epochs),
+	}
+	if cfg.TraceParent != nil {
+		return cfg.TraceParent.Start("train.fit", attrs...)
+	}
+	if cfg.Tracer != nil {
+		return cfg.Tracer.Start("train.fit", attrs...)
+	}
+	return nil
 }
 
 // gradNorm is the global L2 norm of all parameter gradients (the value
