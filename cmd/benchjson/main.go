@@ -1,0 +1,199 @@
+// Command benchjson runs the repo's Go benchmarks and records the results
+// as machine-readable JSON, so performance numbers can be committed,
+// diffed, and uploaded as CI artifacts instead of living in ad-hoc logs.
+//
+// Each invocation writes (or replaces) one labeled section in the output
+// file, so a before/after comparison is two runs with different -label
+// values against the same -o path:
+//
+//	benchjson -label before -parse old_bench.txt -o BENCH_compute.json
+//	benchjson -label after -o BENCH_compute.json
+//
+// Without -parse the tool shells out to `go test -bench` for the packages
+// in -pkgs; with -parse it ingests previously captured `go test -bench`
+// output (use "-" for stdin).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Section is one labeled capture (e.g. "before" / "after").
+type Section struct {
+	Label       string   `json:"label"`
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Packages    []string `json:"packages,omitempty"`
+	Results     []Result `json:"results"`
+}
+
+// File is the on-disk document.
+type File struct {
+	Sections []Section `json:"sections"`
+}
+
+// benchLine matches a `go test -bench -benchmem` result row, e.g.
+//
+//	BenchmarkLSTMForwardBackward-4  100  230070 ns/op  501234 B/op  3547 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(r io.Reader) ([]Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runBenchmarks shells out to `go test -bench` for each package and parses
+// the combined output.
+func runBenchmarks(pkgs []string, benchRE, benchtime string) ([]Result, error) {
+	var all []Result
+	for _, pkg := range pkgs {
+		args := []string{"test", "-run=^$", "-bench=" + benchRE, "-benchmem"}
+		if benchtime != "" {
+			args = append(args, "-benchtime="+benchtime)
+		}
+		args = append(args, pkg)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test %s: %w", pkg, err)
+		}
+		res, err := parseBench(strings.NewReader(string(out)))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res...)
+	}
+	return all, nil
+}
+
+// upsertSection replaces the section with the same label or appends it.
+func upsertSection(f *File, s Section) {
+	for i := range f.Sections {
+		if f.Sections[i].Label == s.Label {
+			f.Sections[i] = s
+			return
+		}
+	}
+	f.Sections = append(f.Sections, s)
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_compute.json", "output JSON file (updated in place)")
+		label     = flag.String("label", "", "section label, e.g. before or after (required)")
+		benchRE   = flag.String("bench", ".", "benchmark regexp passed to go test")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty = default)")
+		pkgsFlag  = flag.String("pkgs", "./internal/tensor,./internal/nn,./internal/train", "comma-separated packages to benchmark")
+		parse     = flag.String("parse", "", "ingest saved `go test -bench` output from this file instead of running (\"-\" = stdin)")
+	)
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		results []Result
+		pkgs    []string
+		err     error
+	)
+	if *parse != "" {
+		var r io.Reader = os.Stdin
+		if *parse != "-" {
+			f, ferr := os.Open(*parse)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		results, err = parseBench(r)
+	} else {
+		pkgs = strings.Split(*pkgsFlag, ",")
+		results, err = runBenchmarks(pkgs, *benchRE, *benchtime)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results found")
+		os.Exit(1)
+	}
+
+	var doc File
+	if data, rerr := os.ReadFile(*out); rerr == nil {
+		if jerr := json.Unmarshal(data, &doc); jerr != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, jerr)
+			os.Exit(1)
+		}
+	}
+	upsertSection(&doc, Section{
+		Label:       *label,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Packages:    pkgs,
+		Results:     results,
+	})
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to section %q of %s\n", len(results), *label, *out)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	raw := `
+goos: linux
+goarch: amd64
+pkg: repro/internal/nn
+BenchmarkCausalConv1DForward-4        1440            829509 ns/op           90240 B/op         10 allocs/op
+BenchmarkLSTMForwardBackward-4          52          23007096 ns/op         3160352 B/op       3547 allocs/op
+BenchmarkParDispatchInline               4194304    286.2 ns/op            16 B/op          1 allocs/op
+BenchmarkNoMem-8        1000    123 ns/op
+BenchmarkMatMulSmall    11799   17471 ns/op        1406.70 MB/s      8320 B/op          5 allocs/op
+PASS
+ok      repro/internal/nn       12.3s
+`
+	res, err := parseBench(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results, want 5", len(res))
+	}
+	mm := res[4]
+	if mm.BytesPerOp != 8320 || mm.AllocsPerOp != 5 {
+		t.Errorf("row with MB/s column parsed as %+v", mm)
+	}
+	conv := res[0]
+	if conv.Name != "BenchmarkCausalConv1DForward" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", conv.Name)
+	}
+	if conv.Iterations != 1440 || conv.NsPerOp != 829509 || conv.BytesPerOp != 90240 || conv.AllocsPerOp != 10 {
+		t.Errorf("conv row parsed as %+v", conv)
+	}
+	if res[2].NsPerOp != 286.2 {
+		t.Errorf("fractional ns/op parsed as %v", res[2].NsPerOp)
+	}
+	if res[3].BytesPerOp != 0 || res[3].AllocsPerOp != 0 {
+		t.Errorf("row without -benchmem columns parsed as %+v", res[3])
+	}
+}
+
+func TestUpsertSection(t *testing.T) {
+	var f File
+	upsertSection(&f, Section{Label: "before", Results: []Result{{Name: "A"}}})
+	upsertSection(&f, Section{Label: "after", Results: []Result{{Name: "B"}}})
+	upsertSection(&f, Section{Label: "before", Results: []Result{{Name: "C"}}})
+	if len(f.Sections) != 2 {
+		t.Fatalf("got %d sections, want 2", len(f.Sections))
+	}
+	if f.Sections[0].Results[0].Name != "C" {
+		t.Errorf("before section not replaced: %+v", f.Sections[0])
+	}
+}

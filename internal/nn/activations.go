@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
 
@@ -94,28 +95,38 @@ func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (s *Sigmoid) Params() []*Param { return nil }
 
 // softmaxRows applies a numerically stable softmax to each row of a
-// [batch, n] tensor.
+// [batch, n] tensor, parallelized across rows (each row's reduction stays
+// sequential, so results do not depend on the worker count).
 func softmaxRows(x *tensor.Tensor) *tensor.Tensor {
 	rows, cols := x.Dim(0), x.Dim(1)
 	out := tensor.New(rows, cols)
-	for r := 0; r < rows; r++ {
-		row := x.Data[r*cols : (r+1)*cols]
-		orow := out.Data[r*cols : (r+1)*cols]
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
+	kernel := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := x.Data[r*cols : (r+1)*cols]
+			orow := out.Data[r*cols : (r+1)*cols]
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for i, v := range row {
+				e := math.Exp(v - maxv)
+				orow[i] = e
+				sum += e
+			}
+			for i := range orow {
+				orow[i] /= sum
 			}
 		}
-		sum := 0.0
-		for i, v := range row {
-			e := math.Exp(v - maxv)
-			orow[i] = e
-			sum += e
-		}
-		for i := range orow {
-			orow[i] /= sum
-		}
+	}
+	// math.Exp costs ~10× a mul-add, so the parallel bar is lower than for
+	// matmuls.
+	if rows*cols < parFlops/8 {
+		kernel(0, rows)
+	} else {
+		par.Run(rows, kernel)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
 
@@ -37,7 +38,7 @@ func (f *FeatureAttention) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: FeatureAttention requires [batch, features], got %v", x.Shape()))
 	}
 	f.x = x
-	scores := x.MatMulT(f.W.Value).AddRowVector(f.B.Value)
+	scores := x.MatMulT(f.W.Value).AddRowVectorInPlace(f.B.Value)
 	f.a = softmaxRows(scores)
 	return f.a.Mul(x)
 }
@@ -48,23 +49,32 @@ func (f *FeatureAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dL/da = grad ⊙ x ; direct path dL/dx = grad ⊙ a.
 	dA := grad.Mul(f.x)
 	dx := grad.Mul(f.a)
-	// Softmax Jacobian per row: ds_j = a_j (dA_j − Σ_k dA_k a_k).
+	// Softmax Jacobian per row: ds_j = a_j (dA_j − Σ_k dA_k a_k). Rows are
+	// independent, so the loop parallelizes with each row's dot product
+	// reduced sequentially (worker-count independent).
 	dS := tensor.New(rows, cols)
-	for r := 0; r < rows; r++ {
-		arow := f.a.Data[r*cols : (r+1)*cols]
-		darow := dA.Data[r*cols : (r+1)*cols]
-		dsrow := dS.Data[r*cols : (r+1)*cols]
-		dot := 0.0
-		for j := range arow {
-			dot += darow[j] * arow[j]
-		}
-		for j := range arow {
-			dsrow[j] = arow[j] * (darow[j] - dot)
+	jacobian := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			arow := f.a.Data[r*cols : (r+1)*cols]
+			darow := dA.Data[r*cols : (r+1)*cols]
+			dsrow := dS.Data[r*cols : (r+1)*cols]
+			dot := 0.0
+			for j := range arow {
+				dot += darow[j] * arow[j]
+			}
+			for j := range arow {
+				dsrow[j] = arow[j] * (darow[j] - dot)
+			}
 		}
 	}
+	if rows*cols < parFlops {
+		jacobian(0, rows)
+	} else {
+		par.Run(rows, jacobian)
+	}
 	// Linear-map gradients and the indirect input path.
-	f.W.Grad.AddInPlace(dS.TMatMul(f.x))
-	f.B.Grad.AddInPlace(dS.SumRows())
+	dS.TMatMulAcc(f.x, f.W.Grad)
+	dS.SumRowsAcc(f.B.Grad)
 	dx.AddInPlace(dS.MatMul(f.W.Value))
 	return dx
 }

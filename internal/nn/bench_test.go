@@ -6,10 +6,14 @@ import (
 	"repro/internal/tensor"
 )
 
-func BenchmarkCausalConv1DForward(b *testing.B) {
+// The conv/LSTM/GRU/attention benchmarks run at batch 32 under their
+// original names plus batch 64 and 256 variants, the sizes where the
+// parallel kernels engage on multi-core runners.
+
+func benchCausalConv1DForward(b *testing.B, batch int) {
 	r := tensor.NewRNG(1)
 	c := NewCausalConv1D(r, 12, 16, 3, 2, true)
-	x := tensor.RandN(r, 32, 12, 32)
+	x := tensor.RandN(r, batch, 12, 32)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -17,10 +21,14 @@ func BenchmarkCausalConv1DForward(b *testing.B) {
 	}
 }
 
-func BenchmarkCausalConv1DBackward(b *testing.B) {
+func BenchmarkCausalConv1DForward(b *testing.B)         { benchCausalConv1DForward(b, 32) }
+func BenchmarkCausalConv1DForwardBatch64(b *testing.B)  { benchCausalConv1DForward(b, 64) }
+func BenchmarkCausalConv1DForwardBatch256(b *testing.B) { benchCausalConv1DForward(b, 256) }
+
+func benchCausalConv1DBackward(b *testing.B, batch int) {
 	r := tensor.NewRNG(2)
 	c := NewCausalConv1D(r, 12, 16, 3, 2, true)
-	x := tensor.RandN(r, 32, 12, 32)
+	x := tensor.RandN(r, batch, 12, 32)
 	y := c.Forward(x, true)
 	g := tensor.RandN(r, y.Shape()...)
 	b.ResetTimer()
@@ -30,6 +38,10 @@ func BenchmarkCausalConv1DBackward(b *testing.B) {
 		c.Backward(g)
 	}
 }
+
+func BenchmarkCausalConv1DBackward(b *testing.B)         { benchCausalConv1DBackward(b, 32) }
+func BenchmarkCausalConv1DBackwardBatch64(b *testing.B)  { benchCausalConv1DBackward(b, 64) }
+func BenchmarkCausalConv1DBackwardBatch256(b *testing.B) { benchCausalConv1DBackward(b, 256) }
 
 func BenchmarkTemporalBlockForwardBackward(b *testing.B) {
 	r := tensor.NewRNG(3)
@@ -46,11 +58,11 @@ func BenchmarkTemporalBlockForwardBackward(b *testing.B) {
 	}
 }
 
-func BenchmarkLSTMForwardBackward(b *testing.B) {
+func benchLSTM(b *testing.B, batch int) {
 	r := tensor.NewRNG(4)
 	l := NewLSTM(r, 12, 32, false)
-	x := tensor.RandN(r, 32, 12, 32)
-	g := tensor.RandN(r, 32, 32)
+	x := tensor.RandN(r, batch, 12, 32)
+	g := tensor.RandN(r, batch, 32)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -60,11 +72,15 @@ func BenchmarkLSTMForwardBackward(b *testing.B) {
 	}
 }
 
-func BenchmarkGRUForwardBackward(b *testing.B) {
+func BenchmarkLSTMForwardBackward(b *testing.B)         { benchLSTM(b, 32) }
+func BenchmarkLSTMForwardBackwardBatch64(b *testing.B)  { benchLSTM(b, 64) }
+func BenchmarkLSTMForwardBackwardBatch256(b *testing.B) { benchLSTM(b, 256) }
+
+func benchGRU(b *testing.B, batch int) {
 	r := tensor.NewRNG(5)
 	l := NewGRU(r, 12, 32, false)
-	x := tensor.RandN(r, 32, 12, 32)
-	g := tensor.RandN(r, 32, 32)
+	x := tensor.RandN(r, batch, 12, 32)
+	g := tensor.RandN(r, batch, 32)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -73,6 +89,10 @@ func BenchmarkGRUForwardBackward(b *testing.B) {
 		l.Backward(g)
 	}
 }
+
+func BenchmarkGRUForwardBackward(b *testing.B)         { benchGRU(b, 32) }
+func BenchmarkGRUForwardBackwardBatch64(b *testing.B)  { benchGRU(b, 64) }
+func BenchmarkGRUForwardBackwardBatch256(b *testing.B) { benchGRU(b, 256) }
 
 func BenchmarkDenseForward(b *testing.B) {
 	r := tensor.NewRNG(6)
@@ -85,11 +105,11 @@ func BenchmarkDenseForward(b *testing.B) {
 	}
 }
 
-func BenchmarkFeatureAttentionForwardBackward(b *testing.B) {
+func benchFeatureAttention(b *testing.B, batch int) {
 	r := tensor.NewRNG(7)
 	a := NewFeatureAttention(r, 64)
-	x := tensor.RandN(r, 128, 64)
-	g := tensor.RandN(r, 128, 64)
+	x := tensor.RandN(r, batch, 64)
+	g := tensor.RandN(r, batch, 64)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -98,3 +118,7 @@ func BenchmarkFeatureAttentionForwardBackward(b *testing.B) {
 		a.Backward(g)
 	}
 }
+
+func BenchmarkFeatureAttentionForwardBackward(b *testing.B)         { benchFeatureAttention(b, 128) }
+func BenchmarkFeatureAttentionForwardBackwardBatch64(b *testing.B)  { benchFeatureAttention(b, 64) }
+func BenchmarkFeatureAttentionForwardBackwardBatch256(b *testing.B) { benchFeatureAttention(b, 256) }

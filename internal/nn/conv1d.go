@@ -4,8 +4,21 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
+
+// parFlops is the mul-add count above which nn kernels fan out onto the
+// internal/par pool — the same crossover as the tensor matmuls (see the
+// tuning comment on parallelFlops in internal/tensor/matmul.go).
+const parFlops = 32 * 64 * 64
+
+// convBatchGrain is how many batch elements share one gradient shard in
+// the parallel conv backward pass. It is a fixed constant so the shard
+// boundaries — and therefore the floating-point reduction order — never
+// depend on the worker count (bitwise determinism), while keeping shard
+// memory at ceil(B/4) kernel-sized buffers.
+const convBatchGrain = 4
 
 // CausalConv1D is a dilated causal 1-D convolution (the paper's eq. 3–4).
 // Input and output have layout [batch, channels, time]; the output length
@@ -15,6 +28,10 @@ import (
 // With weight normalization enabled (as in the paper's residual blocks,
 // Fig. 6) the effective kernel is W = g · V/‖V‖, where the norm is taken
 // per output channel; g and V are the trainable parameters.
+//
+// Forward parallelizes over batch × out-channel units and the backward
+// pass over batch shards whose gradients are reduced in shard-index
+// order, so results are bitwise identical for any worker count.
 type CausalConv1D struct {
 	InChannels  int
 	OutChannels int
@@ -31,8 +48,14 @@ type CausalConv1D struct {
 
 	x       *tensor.Tensor // cached input
 	wEff    *tensor.Tensor // effective kernel used in the last forward
+	wEffBuf *tensor.Tensor // reused storage for wEff under weight norm
 	vNorms  []float64      // per-output-channel ‖V‖ from the last forward
 	padLeft int
+
+	// Backward scratch, reused across steps.
+	dwScratch *tensor.Tensor // [out, in, k] effective-kernel gradient
+	dwShards  []float64      // per-shard dW partials
+	dbShards  []float64      // per-shard bias partials
 }
 
 // NewCausalConv1D builds the layer with He-normal initialization
@@ -77,14 +100,17 @@ func kernelNorm(v *tensor.Tensor, co, in, k int) float64 {
 	return math.Sqrt(s)
 }
 
-// effectiveKernel computes W from (V, g) under weight normalization, or
-// returns the direct W.
+// effectiveKernel computes W from (V, g) under weight normalization into a
+// reused buffer, or returns the direct W.
 func (c *CausalConv1D) effectiveKernel() *tensor.Tensor {
 	if !c.WeightNorm {
 		return c.W.Value
 	}
 	in, k, out := c.InChannels, c.KernelSize, c.OutChannels
-	w := tensor.New(out, in, k)
+	if c.wEffBuf == nil {
+		c.wEffBuf = tensor.New(out, in, k)
+	}
+	w := c.wEffBuf
 	if cap(c.vNorms) < out {
 		c.vNorms = make([]float64, out)
 	}
@@ -118,11 +144,13 @@ func (c *CausalConv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	b, t := x.Dim(0), x.Dim(2)
 	in, out, k, d := c.InChannels, c.OutChannels, c.KernelSize, c.Dilation
 	y := tensor.New(b, out, t)
-	for bi := 0; bi < b; bi++ {
-		xb := x.Data[bi*in*t : (bi+1)*in*t]
-		yb := y.Data[bi*out*t : (bi+1)*out*t]
-		for co := 0; co < out; co++ {
-			yrow := yb[co*t : (co+1)*t]
+	// Each (batch, out-channel) unit owns one disjoint output row.
+	units := b * out
+	run := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			bi, co := u/out, u%out
+			xb := x.Data[bi*in*t : (bi+1)*in*t]
+			yrow := y.Data[(bi*out+co)*t : (bi*out+co+1)*t]
 			bias := c.B.Value.Data[co]
 			for i := range yrow {
 				yrow[i] = bias
@@ -144,6 +172,11 @@ func (c *CausalConv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 		}
 	}
+	if units*in*k*t < parFlops {
+		run(0, units)
+	} else {
+		par.Run(units, run)
+	}
 	return y
 }
 
@@ -153,37 +186,88 @@ func (c *CausalConv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b, t := x.Dim(0), x.Dim(2)
 	in, out, k, d := c.InChannels, c.OutChannels, c.KernelSize, c.Dilation
 	w := c.wEff
-	dW := tensor.New(out, in, k)
+	per := out * in * k
+	if c.dwScratch == nil {
+		c.dwScratch = tensor.New(out, in, k)
+	}
+	dW := c.dwScratch
+	dW.Zero()
 	dx := tensor.New(b, in, t)
-	for bi := 0; bi < b; bi++ {
-		xb := x.Data[bi*in*t : (bi+1)*in*t]
-		gb := grad.Data[bi*out*t : (bi+1)*out*t]
-		dxb := dx.Data[bi*in*t : (bi+1)*in*t]
-		for co := 0; co < out; co++ {
-			grow := gb[co*t : (co+1)*t]
-			// Bias gradient.
-			s := 0.0
-			for _, g := range grow {
-				s += g
-			}
-			c.B.Grad.Data[co] += s
-			for ci := 0; ci < in; ci++ {
-				xrow := xb[ci*t : (ci+1)*t]
-				dxrow := dxb[ci*t : (ci+1)*t]
-				wrow := w.Data[(co*in+ci)*k : (co*in+ci)*k+k]
-				dwrow := dW.Data[(co*in+ci)*k : (co*in+ci)*k+k]
-				for kk := 0; kk < k; kk++ {
-					off := (k - 1 - kk) * d
-					wv := wrow[kk]
-					acc := 0.0
-					for tt := off; tt < t; tt++ {
-						g := grow[tt]
-						acc += g * xrow[tt-off]
-						dxrow[tt-off] += g * wv
+
+	shards := par.NumChunks(b, convBatchGrain)
+	if cap(c.dwShards) < shards*per {
+		c.dwShards = make([]float64, shards*per)
+	}
+	if cap(c.dbShards) < shards*out {
+		c.dbShards = make([]float64, shards*out)
+	}
+	dwShards := c.dwShards[:shards*per]
+	dbShards := c.dbShards[:shards*out]
+	for i := range dwShards {
+		dwShards[i] = 0
+	}
+	for i := range dbShards {
+		dbShards[i] = 0
+	}
+
+	// Each shard owns a fixed batch range: dx rows are disjoint, and dW/dB
+	// partials land in the shard's private buffers.
+	run := func(shard, lo, hi int) {
+		dwS := dwShards[shard*per : (shard+1)*per]
+		dbS := dbShards[shard*out : (shard+1)*out]
+		for bi := lo; bi < hi; bi++ {
+			xb := x.Data[bi*in*t : (bi+1)*in*t]
+			gb := grad.Data[bi*out*t : (bi+1)*out*t]
+			dxb := dx.Data[bi*in*t : (bi+1)*in*t]
+			for co := 0; co < out; co++ {
+				grow := gb[co*t : (co+1)*t]
+				s := 0.0
+				for _, g := range grow {
+					s += g
+				}
+				dbS[co] += s
+				for ci := 0; ci < in; ci++ {
+					xrow := xb[ci*t : (ci+1)*t]
+					dxrow := dxb[ci*t : (ci+1)*t]
+					wrow := w.Data[(co*in+ci)*k : (co*in+ci)*k+k]
+					dwrow := dwS[(co*in+ci)*k : (co*in+ci)*k+k]
+					for kk := 0; kk < k; kk++ {
+						off := (k - 1 - kk) * d
+						wv := wrow[kk]
+						acc := 0.0
+						for tt := off; tt < t; tt++ {
+							g := grow[tt]
+							acc += g * xrow[tt-off]
+							dxrow[tt-off] += g * wv
+						}
+						dwrow[kk] += acc
 					}
-					dwrow[kk] += acc
 				}
 			}
+		}
+	}
+	if b*out*in*k*t < parFlops {
+		for shard := 0; shard < shards; shard++ {
+			lo := shard * convBatchGrain
+			hi := lo + convBatchGrain
+			if hi > b {
+				hi = b
+			}
+			run(shard, lo, hi)
+		}
+	} else {
+		par.RunChunks(b, convBatchGrain, run)
+	}
+
+	// Deterministic reduction: fold shards in index order.
+	for shard := 0; shard < shards; shard++ {
+		dwS := dwShards[shard*per : (shard+1)*per]
+		for i, v := range dwS {
+			dW.Data[i] += v
+		}
+		dbS := dbShards[shard*out : (shard+1)*out]
+		for co, v := range dbS {
+			c.B.Grad.Data[co] += v
 		}
 	}
 	c.accumulateKernelGrad(dW)

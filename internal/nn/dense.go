@@ -29,14 +29,14 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense requires [batch, features], got %v", x.Shape()))
 	}
 	d.x = x
-	return x.MatMulT(d.W.Value).AddRowVector(d.B.Value)
+	return x.MatMulT(d.W.Value).AddRowVectorInPlace(d.B.Value)
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW = gradᵀ · x ;  db = column sums of grad ;  dx = grad · W.
-	d.W.Grad.AddInPlace(grad.TMatMul(d.x))
-	d.B.Grad.AddInPlace(grad.SumRows())
+	grad.TMatMulAcc(d.x, d.W.Grad)
+	grad.SumRowsAcc(d.B.Grad)
 	return grad.MatMul(d.W.Value)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
 
@@ -21,6 +22,11 @@ import (
 //
 // Input is [batch, features, time]; output is [batch, hidden, time] when
 // ReturnSequences, else the final hidden state [batch, hidden].
+//
+// Like LSTM, the input projection X·Wxᵀ for every timestep is one large
+// parallel matmul, per-step state lives in contiguous reused scratch, and
+// the stacked parameter gradients reduce through single large matmuls, so
+// results are bitwise deterministic for any worker count.
 type GRU struct {
 	InFeatures      int
 	Hidden          int
@@ -30,14 +36,67 @@ type GRU struct {
 	Wh *Param // [3H, H]
 	B  *Param // [3H]
 
-	xs    *tensor.Tensor
-	steps []gruStepCache
+	s gruScratch
 }
 
-type gruStepCache struct {
-	x, hPrev   *tensor.Tensor
-	r, z, hCan *tensor.Tensor // reset gate, update gate, candidate
-	rh         *tensor.Tensor // r ⊙ h_{t−1}
+// gruScratch holds forward caches and backward workspaces, t-major like
+// lstmScratch.
+type gruScratch struct {
+	b, t int
+
+	xAll    *tensor.Tensor // [T*B, F]
+	zxAll   *tensor.Tensor // [T*B, 3H] input-side pre-activations
+	hAll    *tensor.Tensor // [(T+1)*B, H]; block 0 is h_{-1}=0
+	rAll    *tensor.Tensor // [T*B, H] reset gate
+	zgAll   *tensor.Tensor // [T*B, H] update gate
+	hCanAll *tensor.Tensor // [T*B, H] candidate
+	rhAll   *tensor.Tensor // [T*B, H] r ⊙ h_{t−1}
+	zhRZ    *tensor.Tensor // [B, 2H] per-step recurrent projection (r,z)
+	zhC     *tensor.Tensor // [B, H] per-step candidate projection
+
+	hPrevView []*tensor.Tensor // [B,H] views of hAll blocks 0..T-1
+
+	// Backward workspaces.
+	drzAll   *tensor.Tensor   // [T*B, 2H] pre-activation grads (r,z)
+	dcanAll  *tensor.Tensor   // [T*B, H] candidate pre-activation grads
+	dzxAll   *tensor.Tensor   // [T*B, 3H] stacked for the x-side matmuls
+	dh       *tensor.Tensor   // [B, H]
+	dRH      *tensor.Tensor   // [B, H]
+	dhp2     *tensor.Tensor   // [B, H] recurrent contribution scratch
+	dxAll    *tensor.Tensor   // [T*B, F]
+	drzView  []*tensor.Tensor // [B,2H] views of drzAll blocks
+	dcanView []*tensor.Tensor // [B,H] views of dcanAll blocks
+}
+
+func (s *gruScratch) ensure(b, t, f, h int) {
+	if s.b == b && s.t == t && s.xAll != nil {
+		return
+	}
+	s.b, s.t = b, t
+	s.xAll = tensor.New(t*b, f)
+	s.zxAll = tensor.New(t*b, 3*h)
+	s.hAll = tensor.New((t+1)*b, h)
+	s.rAll = tensor.New(t*b, h)
+	s.zgAll = tensor.New(t*b, h)
+	s.hCanAll = tensor.New(t*b, h)
+	s.rhAll = tensor.New(t*b, h)
+	s.zhRZ = tensor.New(b, 2*h)
+	s.zhC = tensor.New(b, h)
+	s.drzAll = tensor.New(t*b, 2*h)
+	s.dcanAll = tensor.New(t*b, h)
+	s.dzxAll = tensor.New(t*b, 3*h)
+	s.dh = tensor.New(b, h)
+	s.dRH = tensor.New(b, h)
+	s.dhp2 = tensor.New(b, h)
+	s.dxAll = tensor.New(t*b, f)
+	s.hPrevView = make([]*tensor.Tensor, t)
+	s.drzView = make([]*tensor.Tensor, t)
+	s.dcanView = make([]*tensor.Tensor, t)
+	for step := 0; step < t; step++ {
+		s.hPrevView[step] = tensor.FromSlice(s.hAll.Data[step*b*h:(step+1)*b*h], b, h)
+		s.drzView[step] = tensor.FromSlice(s.drzAll.Data[step*b*2*h:(step+1)*b*2*h], b, 2*h)
+		s.dcanView[step] = tensor.FromSlice(s.dcanAll.Data[step*b*h:(step+1)*b*h], b, h)
+	}
 }
 
 // NewGRU builds the layer with Xavier-uniform weights.
@@ -52,6 +111,16 @@ func NewGRU(r *tensor.RNG, inFeatures, hidden int, returnSequences bool) *GRU {
 	}
 }
 
+// whRZ and whC return views of the (r,z) rows [0,2H) and candidate rows
+// [2H,3H) of a stacked [3H, H] matrix.
+func whRZ(w *tensor.Tensor, h int) *tensor.Tensor {
+	return tensor.FromSlice(w.Data[:2*h*h], 2*h, h)
+}
+
+func whC(w *tensor.Tensor, h int) *tensor.Tensor {
+	return tensor.FromSlice(w.Data[2*h*h:3*h*h], h, h)
+}
+
 // Forward implements Layer.
 func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dims() != 3 {
@@ -60,172 +129,199 @@ func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dim(1) != l.InFeatures {
 		panic(fmt.Sprintf("nn: GRU feature mismatch: input %d, layer %d", x.Dim(1), l.InFeatures))
 	}
-	l.xs = x
 	b, T := x.Dim(0), x.Dim(2)
-	H := l.Hidden
-	h := tensor.New(b, H)
-	l.steps = l.steps[:0]
-	var seq *tensor.Tensor
-	if l.ReturnSequences {
-		seq = tensor.New(b, H, T)
+	H, F := l.Hidden, l.InFeatures
+	s := &l.s
+	s.ensure(b, T, F, H)
+
+	gatherTimeMajor(s.xAll, x, b, F, T)
+	s.xAll.MatMulTInto(l.Wx.Value, s.zxAll)
+
+	for i := 0; i < b*H; i++ {
+		s.hAll.Data[i] = 0
 	}
+
+	wRZ := whRZ(l.Wh.Value, H)
+	wC := whC(l.Wh.Value, H)
+	bias := l.B.Value.Data
 	for t := 0; t < T; t++ {
-		xt := stepInput(x, t)
-		// Pre-activations for r and z come from x and h directly.
-		zx := xt.MatMulT(l.Wx.Value) // [B, 3H]
-		zh := h.MatMulT(l.Wh.Value)  // [B, 3H]
-		r := tensor.New(b, H)
-		z := tensor.New(b, H)
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < H; j++ {
-				pr := zx.Data[bi*3*H+j] + zh.Data[bi*3*H+j] + l.B.Value.Data[j]
-				pz := zx.Data[bi*3*H+H+j] + zh.Data[bi*3*H+H+j] + l.B.Value.Data[H+j]
-				r.Data[bi*H+j] = sigmoid(pr)
-				z.Data[bi*H+j] = sigmoid(pz)
-			}
-		}
-		rh := r.Mul(h)
-		// Candidate uses U_h (r ⊙ h), which requires a separate matmul with
-		// the candidate block of Wh.
-		hCanPre := tensor.New(b, H)
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < H; j++ {
-				s := zx.Data[bi*3*H+2*H+j] + l.B.Value.Data[2*H+j]
-				base := (2*H + j) * H
-				for k := 0; k < H; k++ {
-					s += l.Wh.Value.Data[base+k] * rh.Data[bi*H+k]
-				}
-				hCanPre.Data[bi*H+j] = s
-			}
-		}
-		hCan := hCanPre.Apply(math.Tanh)
-		hNew := tensor.New(b, H)
-		for i := range hNew.Data {
-			hNew.Data[i] = (1-z.Data[i])*h.Data[i] + z.Data[i]*hCan.Data[i]
-		}
-		l.steps = append(l.steps, gruStepCache{x: xt, hPrev: h, r: r, z: z, hCan: hCan, rh: rh})
-		h = hNew
-		if l.ReturnSequences {
-			for bi := 0; bi < b; bi++ {
+		hPrev := s.hPrevView[t]
+		hPrev.MatMulTInto(wRZ, s.zhRZ)
+		base := t * b
+		gates := func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				off := (base + bi) * H
+				zxrow := s.zxAll.Data[(base+bi)*3*H : (base+bi+1)*3*H]
+				zhrow := s.zhRZ.Data[bi*2*H : (bi+1)*2*H]
+				hPrevRow := s.hAll.Data[t*b*H+bi*H : t*b*H+(bi+1)*H]
 				for j := 0; j < H; j++ {
-					seq.Data[(bi*H+j)*T+t] = h.Data[bi*H+j]
+					rv := sigmoid(zxrow[j] + zhrow[j] + bias[j])
+					zv := sigmoid(zxrow[H+j] + zhrow[H+j] + bias[H+j])
+					s.rAll.Data[off+j] = rv
+					s.zgAll.Data[off+j] = zv
+					s.rhAll.Data[off+j] = rv * hPrevRow[j]
 				}
 			}
+		}
+		if b*H < parFlops/8 {
+			gates(0, b)
+		} else {
+			par.Run(b, gates)
+		}
+		// Candidate recurrent projection uses U_h (r ⊙ h_{t−1}).
+		rh := tensor.FromSlice(s.rhAll.Data[base*H:(base+b)*H], b, H)
+		rh.MatMulTInto(wC, s.zhC)
+		state := func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				off := (base + bi) * H
+				zxrow := s.zxAll.Data[(base+bi)*3*H : (base+bi+1)*3*H]
+				hPrevRow := s.hAll.Data[t*b*H+bi*H : t*b*H+(bi+1)*H]
+				hNewRow := s.hAll.Data[(t+1)*b*H+bi*H : (t+1)*b*H+(bi+1)*H]
+				for j := 0; j < H; j++ {
+					hc := math.Tanh(zxrow[2*H+j] + s.zhC.Data[bi*H+j] + bias[2*H+j])
+					s.hCanAll.Data[off+j] = hc
+					zv := s.zgAll.Data[off+j]
+					hNewRow[j] = (1-zv)*hPrevRow[j] + zv*hc
+				}
+			}
+		}
+		if b*H < parFlops/8 {
+			state(0, b)
+		} else {
+			par.Run(b, state)
 		}
 	}
+
 	if l.ReturnSequences {
+		seq := tensor.New(b, H, T)
+		scatter := func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				bi, j := r/H, r%H
+				for t := 0; t < T; t++ {
+					seq.Data[r*T+t] = s.hAll.Data[(t+1)*b*H+bi*H+j]
+				}
+			}
+		}
+		if b*H*T < parFlops {
+			scatter(0, b*H)
+		} else {
+			par.Run(b*H, scatter)
+		}
 		return seq
 	}
-	return h
+	out := tensor.New(b, H)
+	copy(out.Data, s.hAll.Data[T*b*H:(T+1)*b*H])
+	return out
 }
 
 // Backward implements Layer.
 func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	x := l.xs
-	b, T := x.Dim(0), x.Dim(2)
+	s := &l.s
+	b, T := s.b, s.t
 	H, F := l.Hidden, l.InFeatures
 	dx := tensor.New(b, F, T)
-	dh := tensor.New(b, H)
+	s.dh.Zero()
 
-	stepGrad := func(t int) *tensor.Tensor {
-		if !l.ReturnSequences {
-			if t == T-1 {
-				return grad
-			}
-			return nil
-		}
-		g := tensor.New(b, H)
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < H; j++ {
-				g.Data[bi*H+j] = grad.Data[(bi*H+j)*T+t]
-			}
-		}
-		return g
-	}
+	wRZ := whRZ(l.Wh.Value, H)
+	wC := whC(l.Wh.Value, H)
 
 	for t := T - 1; t >= 0; t-- {
-		if sg := stepGrad(t); sg != nil {
-			dh.AddInPlace(sg)
-		}
-		st := l.steps[t]
-		// h = (1−z)·hPrev + z·hCan
-		dz := tensor.New(b, H)
-		dhCan := tensor.New(b, H)
-		dhPrev := tensor.New(b, H)
-		for i := range dh.Data {
-			dz.Data[i] = dh.Data[i] * (st.hCan.Data[i] - st.hPrev.Data[i])
-			dhCan.Data[i] = dh.Data[i] * st.z.Data[i]
-			dhPrev.Data[i] = dh.Data[i] * (1 - st.z.Data[i])
-		}
-		// Through candidate tanh: pre-activation gradient.
-		dhCanPre := tensor.New(b, H)
-		for i := range dhCan.Data {
-			hc := st.hCan.Data[i]
-			dhCanPre.Data[i] = dhCan.Data[i] * (1 - hc*hc)
-		}
-		// Candidate path: pre = Wx_h x + U_h (r⊙hPrev) + b_h.
-		// d(rh) = U_hᵀ dhCanPre ; dWh (candidate rows) += dhCanPreᵀ rh.
-		dRH := tensor.New(b, H)
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < H; j++ {
-				g := dhCanPre.Data[bi*H+j]
-				if g == 0 {
-					continue
+		if l.ReturnSequences {
+			for bi := 0; bi < b; bi++ {
+				for j := 0; j < H; j++ {
+					s.dh.Data[bi*H+j] += grad.Data[(bi*H+j)*T+t]
 				}
-				base := (2*H + j) * H
-				for k := 0; k < H; k++ {
-					dRH.Data[bi*H+k] += l.Wh.Value.Data[base+k] * g
-					l.Wh.Grad.Data[base+k] += g * st.rh.Data[bi*H+k]
+			}
+		} else if t == T-1 {
+			s.dh.AddInPlace(grad)
+		}
+
+		base := t * b
+		// Candidate pre-activation gradient for the whole step.
+		canBack := func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				off := (base + bi) * H
+				for j := 0; j < H; j++ {
+					dhv := s.dh.Data[bi*H+j]
+					zv := s.zgAll.Data[off+j]
+					hc := s.hCanAll.Data[off+j]
+					s.dcanAll.Data[off+j] = dhv * zv * (1 - hc*hc)
 				}
 			}
 		}
-		dr := dRH.Mul(st.hPrev)
-		dhPrev.AddInPlace(dRH.Mul(st.r))
-		// Gate pre-activations.
-		drPre := tensor.New(b, H)
-		dzPre := tensor.New(b, H)
-		for i := range dr.Data {
-			rv := st.r.Data[i]
-			zv := st.z.Data[i]
-			drPre.Data[i] = dr.Data[i] * rv * (1 - rv)
-			dzPre.Data[i] = dz.Data[i] * zv * (1 - zv)
+		if b*H < parFlops/8 {
+			canBack(0, b)
+		} else {
+			par.Run(b, canBack)
 		}
-		// Stack [drPre, dzPre, dhCanPre] as [B, 3H] for the x-side matmuls.
-		dzx := tensor.New(b, 3*H)
-		for bi := 0; bi < b; bi++ {
-			copy(dzx.Data[bi*3*H:bi*3*H+H], drPre.Data[bi*H:(bi+1)*H])
-			copy(dzx.Data[bi*3*H+H:bi*3*H+2*H], dzPre.Data[bi*H:(bi+1)*H])
-			copy(dzx.Data[bi*3*H+2*H:bi*3*H+3*H], dhCanPre.Data[bi*H:(bi+1)*H])
+		// d(r⊙hPrev) via the candidate recurrence.
+		s.dcanView[t].MatMulInto(wC, s.dRH)
+		// Remaining elementwise gate gradients; dh is rewritten to the
+		// direct hPrev path and the reset-gate routing, the r/z recurrent
+		// contribution is added after its matmul below.
+		gateBack := func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				off := (base + bi) * H
+				hPrevRow := s.hAll.Data[t*b*H+bi*H : t*b*H+(bi+1)*H]
+				drzrow := s.drzAll.Data[(base+bi)*2*H : (base+bi+1)*2*H]
+				for j := 0; j < H; j++ {
+					dhv := s.dh.Data[bi*H+j]
+					zv := s.zgAll.Data[off+j]
+					rv := s.rAll.Data[off+j]
+					hc := s.hCanAll.Data[off+j]
+					dzv := dhv * (hc - hPrevRow[j])
+					drv := s.dRH.Data[bi*H+j] * hPrevRow[j]
+					drzrow[j] = drv * rv * (1 - rv)
+					drzrow[H+j] = dzv * zv * (1 - zv)
+					// Direct paths into h_{t−1}.
+					s.dh.Data[bi*H+j] = dhv*(1-zv) + s.dRH.Data[bi*H+j]*rv
+				}
+			}
 		}
-		l.Wx.Grad.AddInPlace(dzx.TMatMul(st.x))
-		l.B.Grad.AddInPlace(dzx.SumRows())
-		dxT := dzx.MatMul(l.Wx.Value)
-		for bi := 0; bi < b; bi++ {
+		if b*H < parFlops/8 {
+			gateBack(0, b)
+		} else {
+			par.Run(b, gateBack)
+		}
+		// Recurrent contribution of the r/z gates to h_{t−1}.
+		s.drzView[t].MatMulInto(wRZ, s.dhp2)
+		s.dh.AddInPlace(s.dhp2)
+	}
+
+	// Assemble dzxAll = [drz | dcan] for the single x-side matmuls.
+	assemble := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			dst := s.dzxAll.Data[r*3*H : (r+1)*3*H]
+			copy(dst[:2*H], s.drzAll.Data[r*2*H:(r+1)*2*H])
+			copy(dst[2*H:], s.dcanAll.Data[r*H:(r+1)*H])
+		}
+	}
+	if T*b*H < parFlops {
+		assemble(0, T*b)
+	} else {
+		par.Run(T*b, assemble)
+	}
+
+	hPrevAll := tensor.FromSlice(s.hAll.Data[:T*b*H], T*b, H)
+	// Wh gradients: (r,z) rows against h_{t−1}, candidate rows against r⊙h.
+	s.drzAll.TMatMulAcc(hPrevAll, whRZ(l.Wh.Grad, H))
+	s.dcanAll.TMatMulAcc(s.rhAll, whC(l.Wh.Grad, H))
+	s.dzxAll.TMatMulAcc(s.xAll, l.Wx.Grad)
+	s.dzxAll.SumRowsAcc(l.B.Grad)
+	s.dzxAll.MatMulInto(l.Wx.Value, s.dxAll)
+	scatter := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			tt, bi := r/b, r%b
+			row := s.dxAll.Data[r*F : (r+1)*F]
 			for fi := 0; fi < F; fi++ {
-				dx.Data[(bi*F+fi)*T+t] = dxT.Data[bi*F+fi]
+				dx.Data[(bi*F+fi)*T+tt] = row[fi]
 			}
 		}
-		// h-side contributions of r and z gates (candidate already handled).
-		dzh := tensor.New(b, 2*H)
-		for bi := 0; bi < b; bi++ {
-			copy(dzh.Data[bi*2*H:bi*2*H+H], drPre.Data[bi*H:(bi+1)*H])
-			copy(dzh.Data[bi*2*H+H:bi*2*H+2*H], dzPre.Data[bi*H:(bi+1)*H])
-		}
-		// Wh gradient for the r/z blocks and the hPrev path.
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < 2*H; j++ {
-				g := dzh.Data[bi*2*H+j]
-				if g == 0 {
-					continue
-				}
-				base := j * H
-				for k := 0; k < H; k++ {
-					l.Wh.Grad.Data[base+k] += g * st.hPrev.Data[bi*H+k]
-					dhPrev.Data[bi*H+k] += g * l.Wh.Value.Data[base+k]
-				}
-			}
-		}
-		dh = dhPrev
+	}
+	if T*b*F < parFlops {
+		scatter(0, T*b)
+	} else {
+		par.Run(T*b, scatter)
 	}
 	return dx
 }

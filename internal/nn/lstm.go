@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
 
@@ -15,6 +16,13 @@ import (
 // Gate order in the stacked weight matrices is (input, forget, cell,
 // output). The forget-gate bias is initialized to 1, the usual trick to
 // ease gradient flow early in training.
+//
+// Instead of T small sequential matmuls, the input projection X·Wxᵀ for
+// every timestep is computed as one large parallel matmul up front (and
+// likewise dWx/dx as single matmuls over the stacked per-step gradients in
+// the backward pass); only the h·Whᵀ recurrence remains per-step. All
+// per-step state lives in contiguous scratch buffers reused across calls,
+// so a steady-state training step allocates only its outputs.
 type LSTM struct {
 	InFeatures      int
 	Hidden          int
@@ -24,17 +32,62 @@ type LSTM struct {
 	Wh *Param // [4H, H]
 	B  *Param // [4H]
 
-	// Per-step caches for BPTT.
-	xs          *tensor.Tensor   // input of last forward
-	steps       []lstmStepCache  // one per time step
-	hPrev0      *tensor.Tensor   // zero initial state (kept for shape)
-	lastHiddens []*tensor.Tensor // h_t per step (for ReturnSequences grad routing)
+	s lstmScratch
 }
 
-type lstmStepCache struct {
-	x, hPrev, cPrev *tensor.Tensor // inputs to the step
-	i, f, g, o      *tensor.Tensor // gate activations
-	c, tanhC        *tensor.Tensor // cell state and its tanh
+// lstmScratch holds the forward caches and backward workspaces, laid out
+// t-major so step t is the contiguous row block [t*B, (t+1)*B).
+type lstmScratch struct {
+	b, t int // shape the buffers were sized for
+
+	xAll  *tensor.Tensor // [T*B, F] input, time-major
+	zAll  *tensor.Tensor // [T*B, 4H] pre-activations (x-side, then +h-side)
+	hAll  *tensor.Tensor // [(T+1)*B, H]; block 0 is h_{-1}=0, block t+1 is h_t
+	cAll  *tensor.Tensor // [(T+1)*B, H]; same layout for the cell state
+	tanhC *tensor.Tensor // [T*B, H]
+	gi    *tensor.Tensor // [T*B, H] input gate
+	gf    *tensor.Tensor // [T*B, H] forget gate
+	gg    *tensor.Tensor // [T*B, H] candidate
+	go_   *tensor.Tensor // [T*B, H] output gate
+	zh    *tensor.Tensor // [B, 4H] per-step recurrent projection
+
+	hPrevView []*tensor.Tensor // [B,H] views of hAll blocks 0..T-1
+
+	// Backward workspaces.
+	dzAll  *tensor.Tensor   // [T*B, 4H]
+	dh     *tensor.Tensor   // [B, H]
+	dc     *tensor.Tensor   // [B, H]
+	dcPrev *tensor.Tensor   // [B, H]
+	dxAll  *tensor.Tensor   // [T*B, F]
+	dzView []*tensor.Tensor // [B,4H] views of dzAll blocks
+}
+
+func (s *lstmScratch) ensure(b, t, f, h int) {
+	if s.b == b && s.t == t && s.xAll != nil {
+		return
+	}
+	s.b, s.t = b, t
+	s.xAll = tensor.New(t*b, f)
+	s.zAll = tensor.New(t*b, 4*h)
+	s.hAll = tensor.New((t+1)*b, h)
+	s.cAll = tensor.New((t+1)*b, h)
+	s.tanhC = tensor.New(t*b, h)
+	s.gi = tensor.New(t*b, h)
+	s.gf = tensor.New(t*b, h)
+	s.gg = tensor.New(t*b, h)
+	s.go_ = tensor.New(t*b, h)
+	s.zh = tensor.New(b, 4*h)
+	s.dzAll = tensor.New(t*b, 4*h)
+	s.dh = tensor.New(b, h)
+	s.dc = tensor.New(b, h)
+	s.dcPrev = tensor.New(b, h)
+	s.dxAll = tensor.New(t*b, f)
+	s.hPrevView = make([]*tensor.Tensor, t)
+	s.dzView = make([]*tensor.Tensor, t)
+	for step := 0; step < t; step++ {
+		s.hPrevView[step] = tensor.FromSlice(s.hAll.Data[step*b*h:(step+1)*b*h], b, h)
+		s.dzView[step] = tensor.FromSlice(s.dzAll.Data[step*b*4*h:(step+1)*b*4*h], b, 4*h)
+	}
 }
 
 // NewLSTM builds the layer with Xavier-uniform weights.
@@ -54,16 +107,22 @@ func NewLSTM(r *tensor.RNG, inFeatures, hidden int, returnSequences bool) *LSTM 
 	return l
 }
 
-// stepInput extracts time slice t of [batch, features, time] as [batch, features].
-func stepInput(x *tensor.Tensor, t int) *tensor.Tensor {
-	b, f, tt := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(b, f)
-	for bi := 0; bi < b; bi++ {
-		for fi := 0; fi < f; fi++ {
-			out.Data[bi*f+fi] = x.Data[(bi*f+fi)*tt+t]
+// gatherTimeMajor fills dst [T*B, F] (time-major) from x [B, F, T].
+func gatherTimeMajor(dst, x *tensor.Tensor, b, f, t int) {
+	fill := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			tt, bi := r/b, r%b
+			row := dst.Data[r*f : (r+1)*f]
+			for fi := 0; fi < f; fi++ {
+				row[fi] = x.Data[(bi*f+fi)*t+tt]
+			}
 		}
 	}
-	return out
+	if t*b*f < parFlops {
+		fill(0, t*b)
+	} else {
+		par.Run(t*b, fill)
+	}
 }
 
 // Forward implements Layer.
@@ -74,124 +133,155 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dim(1) != l.InFeatures {
 		panic(fmt.Sprintf("nn: LSTM feature mismatch: input %d, layer %d", x.Dim(1), l.InFeatures))
 	}
-	l.xs = x
 	b, T := x.Dim(0), x.Dim(2)
-	H := l.Hidden
-	h := tensor.New(b, H)
-	c := tensor.New(b, H)
-	l.hPrev0 = h
-	l.steps = l.steps[:0]
-	l.lastHiddens = l.lastHiddens[:0]
-	var seq *tensor.Tensor
-	if l.ReturnSequences {
-		seq = tensor.New(b, H, T)
+	H, F := l.Hidden, l.InFeatures
+	s := &l.s
+	s.ensure(b, T, F, H)
+
+	gatherTimeMajor(s.xAll, x, b, F, T)
+	// The whole input projection in one parallel matmul.
+	s.xAll.MatMulTInto(l.Wx.Value, s.zAll)
+
+	// h_{-1} = c_{-1} = 0.
+	for i := 0; i < b*H; i++ {
+		s.hAll.Data[i] = 0
+		s.cAll.Data[i] = 0
 	}
+
+	bias := l.B.Value.Data
 	for t := 0; t < T; t++ {
-		xt := stepInput(x, t)
-		z := xt.MatMulT(l.Wx.Value).AddInPlace(h.MatMulT(l.Wh.Value)).AddRowVector(l.B.Value)
-		i := tensor.New(b, H)
-		f := tensor.New(b, H)
-		g := tensor.New(b, H)
-		o := tensor.New(b, H)
-		for bi := 0; bi < b; bi++ {
-			zrow := z.Data[bi*4*H : (bi+1)*4*H]
-			for j := 0; j < H; j++ {
-				i.Data[bi*H+j] = sigmoid(zrow[j])
-				f.Data[bi*H+j] = sigmoid(zrow[H+j])
-				g.Data[bi*H+j] = math.Tanh(zrow[2*H+j])
-				o.Data[bi*H+j] = sigmoid(zrow[3*H+j])
-			}
-		}
-		cNew := f.Mul(c).AddInPlace(i.Mul(g))
-		tanhC := cNew.Apply(math.Tanh)
-		hNew := o.Mul(tanhC)
-		l.steps = append(l.steps, lstmStepCache{
-			x: xt, hPrev: h, cPrev: c,
-			i: i, f: f, g: g, o: o,
-			c: cNew, tanhC: tanhC,
-		})
-		h, c = hNew, cNew
-		l.lastHiddens = append(l.lastHiddens, h)
-		if l.ReturnSequences {
-			for bi := 0; bi < b; bi++ {
+		hPrev := s.hPrevView[t]
+		hPrev.MatMulTInto(l.Wh.Value, s.zh)
+		base := t * b // row offset of step t in the T*B-major buffers
+		step := func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				zrow := s.zAll.Data[(base+bi)*4*H : (base+bi+1)*4*H]
+				zhrow := s.zh.Data[bi*4*H : (bi+1)*4*H]
+				off := (base + bi) * H
+				cPrev := s.cAll.Data[t*b*H+bi*H : t*b*H+(bi+1)*H]
+				cNew := s.cAll.Data[(t+1)*b*H+bi*H : (t+1)*b*H+(bi+1)*H]
+				hNew := s.hAll.Data[(t+1)*b*H+bi*H : (t+1)*b*H+(bi+1)*H]
 				for j := 0; j < H; j++ {
-					seq.Data[(bi*H+j)*T+t] = h.Data[bi*H+j]
+					iv := sigmoid(zrow[j] + zhrow[j] + bias[j])
+					fv := sigmoid(zrow[H+j] + zhrow[H+j] + bias[H+j])
+					gv := math.Tanh(zrow[2*H+j] + zhrow[2*H+j] + bias[2*H+j])
+					ov := sigmoid(zrow[3*H+j] + zhrow[3*H+j] + bias[3*H+j])
+					s.gi.Data[off+j] = iv
+					s.gf.Data[off+j] = fv
+					s.gg.Data[off+j] = gv
+					s.go_.Data[off+j] = ov
+					cv := fv*cPrev[j] + iv*gv
+					cNew[j] = cv
+					tc := math.Tanh(cv)
+					s.tanhC.Data[off+j] = tc
+					hNew[j] = ov * tc
 				}
 			}
 		}
+		if b*H < parFlops/8 {
+			step(0, b)
+		} else {
+			par.Run(b, step)
+		}
 	}
+
 	if l.ReturnSequences {
+		seq := tensor.New(b, H, T)
+		scatter := func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				bi, j := r/H, r%H
+				for t := 0; t < T; t++ {
+					seq.Data[r*T+t] = s.hAll.Data[(t+1)*b*H+bi*H+j]
+				}
+			}
+		}
+		if b*H*T < parFlops {
+			scatter(0, b*H)
+		} else {
+			par.Run(b*H, scatter)
+		}
 		return seq
 	}
-	return h
+	out := tensor.New(b, H)
+	copy(out.Data, s.hAll.Data[T*b*H:(T+1)*b*H])
+	return out
 }
 
 // Backward implements Layer.
 func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	x := l.xs
-	b, T := x.Dim(0), x.Dim(2)
+	s := &l.s
+	b, T := s.b, s.t
 	H, F := l.Hidden, l.InFeatures
 	dx := tensor.New(b, F, T)
-	dh := tensor.New(b, H)
-	dc := tensor.New(b, H)
-
-	stepGrad := func(t int) *tensor.Tensor {
-		if !l.ReturnSequences {
-			if t == T-1 {
-				return grad
-			}
-			return nil
-		}
-		g := tensor.New(b, H)
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < H; j++ {
-				g.Data[bi*H+j] = grad.Data[(bi*H+j)*T+t]
-			}
-		}
-		return g
-	}
+	s.dh.Zero()
+	s.dc.Zero()
 
 	for t := T - 1; t >= 0; t-- {
-		if sg := stepGrad(t); sg != nil {
-			dh.AddInPlace(sg)
+		// Fold in the gradient arriving at h_t from the layer output.
+		if l.ReturnSequences {
+			for bi := 0; bi < b; bi++ {
+				for j := 0; j < H; j++ {
+					s.dh.Data[bi*H+j] += grad.Data[(bi*H+j)*T+t]
+				}
+			}
+		} else if t == T-1 {
+			s.dh.AddInPlace(grad)
 		}
-		st := l.steps[t]
-		// Through h = o ⊙ tanh(c).
-		do := dh.Mul(st.tanhC)
-		dtanh := dh.Mul(st.o)
-		for k := range dtanh.Data {
-			tc := st.tanhC.Data[k]
-			dc.Data[k] += dtanh.Data[k] * (1 - tc*tc)
-		}
-		di := dc.Mul(st.g)
-		dg := dc.Mul(st.i)
-		df := dc.Mul(st.cPrev)
-		dcPrev := dc.Mul(st.f)
-		// Gate pre-activation gradients, stacked as [B, 4H].
-		dz := tensor.New(b, 4*H)
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < H; j++ {
-				iv := st.i.Data[bi*H+j]
-				fv := st.f.Data[bi*H+j]
-				gv := st.g.Data[bi*H+j]
-				ov := st.o.Data[bi*H+j]
-				dz.Data[bi*4*H+j] = di.Data[bi*H+j] * iv * (1 - iv)
-				dz.Data[bi*4*H+H+j] = df.Data[bi*H+j] * fv * (1 - fv)
-				dz.Data[bi*4*H+2*H+j] = dg.Data[bi*H+j] * (1 - gv*gv)
-				dz.Data[bi*4*H+3*H+j] = do.Data[bi*H+j] * ov * (1 - ov)
+
+		base := t * b
+		// Elementwise gate gradients for the whole step, written into the
+		// step's block of dzAll.
+		stepBack := func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				off := (base + bi) * H
+				dzrow := s.dzAll.Data[(base+bi)*4*H : (base+bi+1)*4*H]
+				cPrev := s.cAll.Data[t*b*H+bi*H : t*b*H+(bi+1)*H]
+				for j := 0; j < H; j++ {
+					dhv := s.dh.Data[bi*H+j]
+					tc := s.tanhC.Data[off+j]
+					iv := s.gi.Data[off+j]
+					fv := s.gf.Data[off+j]
+					gv := s.gg.Data[off+j]
+					ov := s.go_.Data[off+j]
+					dcv := s.dc.Data[bi*H+j] + dhv*ov*(1-tc*tc)
+					dzrow[j] = dcv * gv * iv * (1 - iv)
+					dzrow[H+j] = dcv * cPrev[j] * fv * (1 - fv)
+					dzrow[2*H+j] = dcv * iv * (1 - gv*gv)
+					dzrow[3*H+j] = dhv * tc * ov * (1 - ov)
+					s.dcPrev.Data[bi*H+j] = dcv * fv
+				}
 			}
 		}
-		l.Wx.Grad.AddInPlace(dz.TMatMul(st.x))
-		l.Wh.Grad.AddInPlace(dz.TMatMul(st.hPrev))
-		l.B.Grad.AddInPlace(dz.SumRows())
-		dxT := dz.MatMul(l.Wx.Value) // [B, F]
-		for bi := 0; bi < b; bi++ {
+		if b*H < parFlops/8 {
+			stepBack(0, b)
+		} else {
+			par.Run(b, stepBack)
+		}
+		// Gradient to h_{t−1} via the recurrence.
+		s.dzView[t].MatMulInto(l.Wh.Value, s.dh)
+		s.dc, s.dcPrev = s.dcPrev, s.dc
+	}
+
+	// Stacked parameter and input gradients as single large matmuls:
+	// rows 0..T*B of hAll are exactly h_{t−1} for every step.
+	hPrevAll := tensor.FromSlice(s.hAll.Data[:T*b*H], T*b, H)
+	s.dzAll.TMatMulAcc(s.xAll, l.Wx.Grad)
+	s.dzAll.TMatMulAcc(hPrevAll, l.Wh.Grad)
+	s.dzAll.SumRowsAcc(l.B.Grad)
+	s.dzAll.MatMulInto(l.Wx.Value, s.dxAll)
+	scatter := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			tt, bi := r/b, r%b
+			row := s.dxAll.Data[r*F : (r+1)*F]
 			for fi := 0; fi < F; fi++ {
-				dx.Data[(bi*F+fi)*T+t] = dxT.Data[bi*F+fi]
+				dx.Data[(bi*F+fi)*T+tt] = row[fi]
 			}
 		}
-		dh = dz.MatMul(l.Wh.Value) // gradient to h_{t−1}
-		dc = dcPrev
+	}
+	if T*b*F < parFlops {
+		scatter(0, T*b)
+	} else {
+		par.Run(T*b, scatter)
 	}
 	return dx
 }

@@ -2,57 +2,59 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/par"
 )
 
-// parallelThreshold is the number of output elements above which MatMul
-// fans work out across goroutines. Below it the sequential kernel is faster.
-const parallelThreshold = 64 * 64
+// parallelFlops is the number of multiply-adds (m·n·k for a matmul) above
+// which a kernel fans out onto the internal/par worker pool. Below it the
+// sequential kernel wins.
+//
+// Tuning evidence (Xeon @ 2.10GHz, go1.24): BenchmarkParDispatch in
+// internal/par puts the fixed cost of waking a 4-worker pool and claiming
+// all chunks of a Run at ~0.8µs (vs ~0.3µs for the inline 1-worker path).
+// The ikj kernel sustains roughly 2 mul-adds/ns single-threaded, so the
+// crossover 32·64·64 ≈ 131k mul-adds ≈ 65µs of work: a 2-worker split
+// (~33µs + 1µs dispatch) already halves the wall clock, and dispatch
+// stays ~1.5% of the op. One step smaller (32³ ≈ 17µs,
+// BenchmarkMatMulSmall) the split still wins at 4+ workers but is
+// marginal at 2, so small ops stay sequential to protect latency.
+const parallelFlops = 32 * 64 * 64
+
+// parallelElems is the element count above which simple O(n) kernels
+// (transpose, matvec rows) parallelize. These move ~8 bytes per element
+// with little arithmetic (~1ns/elem), so 32k elements ≈ 32µs of work —
+// roughly the same ≥10× dispatch-cost bar as parallelFlops.
+const parallelElems = 32 * 1024
 
 // MatMul returns the matrix product t × u for 2-D tensors, computed with a
 // cache-friendly ikj loop order and parallelized across rows for large
 // outputs.
 func (t *Tensor) MatMul(u *Tensor) *Tensor {
-	if t.Dims() != 2 || u.Dims() != 2 {
-		panic("tensor: MatMul requires 2-D tensors")
-	}
-	m, k := t.shape[0], t.shape[1]
-	k2, n := u.shape[0], u.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", t.shape, u.shape))
-	}
+	m, _, n := matmulDims(t, u, "MatMul")
 	out := New(m, n)
-	if m*n < parallelThreshold {
-		matmulRows(out.Data, t.Data, u.Data, 0, m, k, n)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(out.Data, t.Data, u.Data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	t.MatMulInto(u, out)
 	return out
 }
 
+// MatMulInto computes dst = t × u, reusing dst's storage. dst must be
+// [m, n] and must not alias t or u. It returns dst.
+func (t *Tensor) MatMulInto(u, dst *Tensor) *Tensor {
+	m, k, n := matmulDims(t, u, "MatMulInto")
+	checkDst(dst, m, n, "MatMulInto")
+	dst.Zero()
+	if m*n*k < parallelFlops {
+		matmulRows(dst.Data, t.Data, u.Data, 0, m, k, n)
+		return dst
+	}
+	par.Run(m, func(lo, hi int) {
+		matmulRows(dst.Data, t.Data, u.Data, lo, hi, k, n)
+	})
+	return dst
+}
+
 // matmulRows computes rows [lo,hi) of out = a×b where a is m×k and b is k×n.
+// out rows must be zeroed on entry.
 func matmulRows(out, a, b []float64, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		arow := a[i*k : (i+1)*k]
@@ -71,20 +73,34 @@ func matmulRows(out, a, b []float64, lo, hi, k, n int) {
 
 // MatMulT returns t × uᵀ without materializing the transpose.
 func (t *Tensor) MatMulT(u *Tensor) *Tensor {
-	if t.Dims() != 2 || u.Dims() != 2 {
-		panic("tensor: MatMulT requires 2-D tensors")
-	}
-	m, k := t.shape[0], t.shape[1]
-	n, k2 := u.shape[0], u.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v × %vᵀ", t.shape, u.shape))
-	}
+	m, _, n := matmulTDims(t, u, "MatMulT")
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := t.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
+	t.MatMulTInto(u, out)
+	return out
+}
+
+// MatMulTInto computes dst = t × uᵀ, reusing dst's storage. dst must be
+// [m, n] and must not alias t or u. It returns dst.
+func (t *Tensor) MatMulTInto(u, dst *Tensor) *Tensor {
+	m, k, n := matmulTDims(t, u, "MatMulTInto")
+	checkDst(dst, m, n, "MatMulTInto")
+	if m*n*k < parallelFlops {
+		matmulTRows(dst.Data, t.Data, u.Data, 0, m, k, n)
+		return dst
+	}
+	par.Run(m, func(lo, hi int) {
+		matmulTRows(dst.Data, t.Data, u.Data, lo, hi, k, n)
+	})
+	return dst
+}
+
+// matmulTRows computes rows [lo,hi) of out = a×bᵀ where a is m×k, b is n×k.
+func matmulTRows(out, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := u.Data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
@@ -92,34 +108,73 @@ func (t *Tensor) MatMulT(u *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
-// TMatMul returns tᵀ × u without materializing the transpose.
+// TMatMul returns tᵀ × u without materializing the transpose. Work is
+// split across column blocks of the output; within each element the
+// accumulation order over the inner dimension is ascending regardless of
+// worker count, so results are bitwise deterministic.
 func (t *Tensor) TMatMul(u *Tensor) *Tensor {
+	_, m := tmatmulDims(t, u, "TMatMul")
+	return t.TMatMulAcc(u, New(m, u.shape[1]))
+}
+
+// TMatMulAcc accumulates tᵀ × u into dst (dst += tᵀ × u) without a
+// temporary — the gradient-accumulation op param.Grad += gradᵀ·x. dst must
+// be [cols(t), cols(u)] and must not alias t or u. It returns dst.
+func (t *Tensor) TMatMulAcc(u, dst *Tensor) *Tensor {
+	k, m := tmatmulDims(t, u, "TMatMulAcc")
+	n := u.shape[1]
+	checkDst(dst, m, n, "TMatMulAcc")
+	if m*n*k < parallelFlops || n < 2 {
+		tmatmulCols(dst.Data, t.Data, u.Data, 0, n, k, m, n)
+		return dst
+	}
+	// Column-block split keeps the cache-friendly p-outer loop (out is
+	// typically a small gradient matrix that fits in cache) while giving
+	// each worker a disjoint slice of every output row. Each block pays a
+	// full traversal of t, so blocks are kept ≥32 columns wide — narrower
+	// blocks spend more time re-reading t and setting up 2–3-element inner
+	// loops than multiplying (a 32-way split of a 96-column op measured 3×
+	// slower than sequential).
+	const minColBlock = 32
+	grain := (n + minColBlock - 1) / minColBlock
+	if grain < minColBlock {
+		grain = minColBlock
+	}
+	par.RunGrain(n, grain, func(jlo, jhi int) {
+		tmatmulCols(dst.Data, t.Data, u.Data, jlo, jhi, k, m, n)
+	})
+	return dst
+}
+
+func tmatmulDims(t, u *Tensor, op string) (k, m int) {
 	if t.Dims() != 2 || u.Dims() != 2 {
-		panic("tensor: TMatMul requires 2-D tensors")
+		panic("tensor: " + op + " requires 2-D tensors")
 	}
-	k, m := t.shape[0], t.shape[1]
-	k2, n := u.shape[0], u.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch %vᵀ × %v", t.shape, u.shape))
+	k, m = t.shape[0], t.shape[1]
+	if u.shape[0] != k {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %vᵀ × %v", op, t.dims(), u.dims()))
 	}
-	out := New(m, n)
+	return k, m
+}
+
+// tmatmulCols computes columns [jlo,jhi) of out = aᵀ×b where a is k×m and
+// b is k×n.
+func tmatmulCols(out, a, b []float64, jlo, jhi, k, m, n int) {
 	for p := 0; p < k; p++ {
-		arow := t.Data[p*m : (p+1)*m]
-		brow := u.Data[p*n : (p+1)*n]
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n+jlo : p*n+jhi]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*n : (i+1)*n]
+			orow := out[i*n+jlo : i*n+jhi]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.
@@ -129,32 +184,77 @@ func (t *Tensor) Transpose2D() *Tensor {
 	}
 	m, n := t.shape[0], t.shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = t.Data[i*n+j]
+	transpose := func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			orow := out.Data[j*m : (j+1)*m]
+			for i := 0; i < m; i++ {
+				orow[i] = t.Data[i*n+j]
+			}
 		}
 	}
+	if m*n < parallelElems || n < 2 {
+		transpose(0, n)
+		return out
+	}
+	par.Run(n, transpose)
 	return out
 }
 
 // MatVec returns the matrix-vector product t × v for a 2-D tensor and a
-// 1-D tensor.
+// 1-D tensor, parallelized across rows for large matrices.
 func (t *Tensor) MatVec(v *Tensor) *Tensor {
 	if t.Dims() != 2 || v.Dims() != 1 {
 		panic("tensor: MatVec requires a 2-D tensor and a 1-D tensor")
 	}
 	m, n := t.shape[0], t.shape[1]
 	if v.Size() != n {
-		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v × len %d", t.shape, v.Size()))
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v × len %d", t.dims(), v.Size()))
 	}
 	out := New(m)
-	for i := 0; i < m; i++ {
-		row := t.Data[i*n : (i+1)*n]
-		s := 0.0
-		for j, rv := range row {
-			s += rv * v.Data[j]
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*n : (i+1)*n]
+			s := 0.0
+			for j, rv := range row {
+				s += rv * v.Data[j]
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
 	}
+	if m*n < parallelElems || m < 2 {
+		rows(0, m)
+		return out
+	}
+	par.Run(m, rows)
 	return out
+}
+
+func matmulDims(t, u *Tensor, op string) (m, k, n int) {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: " + op + " requires 2-D tensors")
+	}
+	m, k = t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v × %v", op, t.dims(), u.dims()))
+	}
+	return m, k, n
+}
+
+func matmulTDims(t, u *Tensor, op string) (m, k, n int) {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: " + op + " requires 2-D tensors")
+	}
+	m, k = t.shape[0], t.shape[1]
+	n, k2 := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v × %vᵀ", op, t.dims(), u.dims()))
+	}
+	return m, k, n
+}
+
+func checkDst(dst *Tensor, m, n int, op string) {
+	if dst.Dims() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.dims(), m, n))
+	}
 }

@@ -8,7 +8,7 @@ import (
 // Add returns t + u elementwise as a new tensor. Shapes must match.
 func (t *Tensor) Add(u *Tensor) *Tensor {
 	t.mustMatch(u, "Add")
-	out := New(t.shape...)
+	out := NewLike(t)
 	for i, v := range t.Data {
 		out.Data[i] = v + u.Data[i]
 	}
@@ -18,7 +18,7 @@ func (t *Tensor) Add(u *Tensor) *Tensor {
 // Sub returns t - u elementwise as a new tensor. Shapes must match.
 func (t *Tensor) Sub(u *Tensor) *Tensor {
 	t.mustMatch(u, "Sub")
-	out := New(t.shape...)
+	out := NewLike(t)
 	for i, v := range t.Data {
 		out.Data[i] = v - u.Data[i]
 	}
@@ -28,7 +28,7 @@ func (t *Tensor) Sub(u *Tensor) *Tensor {
 // Mul returns the Hadamard (elementwise) product t ⊙ u as a new tensor.
 func (t *Tensor) Mul(u *Tensor) *Tensor {
 	t.mustMatch(u, "Mul")
-	out := New(t.shape...)
+	out := NewLike(t)
 	for i, v := range t.Data {
 		out.Data[i] = v * u.Data[i]
 	}
@@ -64,7 +64,7 @@ func (t *Tensor) MulInPlace(u *Tensor) *Tensor {
 
 // Scale returns c*t as a new tensor.
 func (t *Tensor) Scale(c float64) *Tensor {
-	out := New(t.shape...)
+	out := NewLike(t)
 	for i, v := range t.Data {
 		out.Data[i] = c * v
 	}
@@ -90,7 +90,7 @@ func (t *Tensor) AXPY(a float64, u *Tensor) *Tensor {
 
 // Apply returns a new tensor with f applied to every element.
 func (t *Tensor) Apply(f func(float64) float64) *Tensor {
-	out := New(t.shape...)
+	out := NewLike(t)
 	for i, v := range t.Data {
 		out.Data[i] = f(v)
 	}
@@ -192,6 +192,25 @@ func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
 	return out
 }
 
+// AddRowVectorInPlace adds the length-cols vector v to every row of a 2-D
+// tensor in place and returns t.
+func (t *Tensor) AddRowVectorInPlace(v *Tensor) *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: AddRowVectorInPlace requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if v.Size() != cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInPlace vector length %d != cols %d", v.Size(), cols))
+	}
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			t.Data[base+c] += v.Data[c]
+		}
+	}
+	return t
+}
+
 // SumRows returns a length-cols vector with the column sums of a 2-D tensor
 // (the reduction matching AddRowVector's broadcast in the backward pass).
 func (t *Tensor) SumRows() *Tensor {
@@ -209,9 +228,29 @@ func (t *Tensor) SumRows() *Tensor {
 	return out
 }
 
+// SumRowsAcc accumulates the column sums of a 2-D tensor into the
+// length-cols vector dst (dst += column sums) and returns dst — the
+// temporary-free form of Grad.AddInPlace(t.SumRows()).
+func (t *Tensor) SumRowsAcc(dst *Tensor) *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: SumRowsAcc requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if dst.Size() != cols {
+		panic(fmt.Sprintf("tensor: SumRowsAcc destination length %d != cols %d", dst.Size(), cols))
+	}
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			dst.Data[c] += t.Data[base+c]
+		}
+	}
+	return dst
+}
+
 func (t *Tensor) mustMatch(u *Tensor, op string) {
 	if !t.SameShape(u) {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.dims(), u.dims()))
 	}
 }
 

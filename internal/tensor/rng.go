@@ -80,7 +80,15 @@ func (r *RNG) NormFloat64() float64 {
 
 // Perm returns a pseudo-random permutation of [0,n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a pseudo-random permutation of [0,len(p)) and
+// returns it — the allocation-free form of Perm for hot loops that reuse
+// the slice. It consumes exactly the same RNG draws as Perm, so a run is
+// reproducible regardless of which form it uses.
+func (r *RNG) PermInto(p []int) []int {
+	n := len(p)
 	for i := range p {
 		p[i] = i
 	}

@@ -43,6 +43,22 @@ func (d Dataset) Gather(idx []int) Dataset {
 	return Dataset{X: gatherSamples(d.X, idx), Y: gatherSamples(d.Y, idx)}
 }
 
+// GatherInto is Gather with buffer reuse: dst's tensors are overwritten
+// when their shapes already match and reallocated otherwise. The (possibly
+// updated) dataset is returned; d is never aliased.
+func (d Dataset) GatherInto(idx []int, dst Dataset) Dataset {
+	dst.X = gatherSamplesInto(d.X, idx, dst.X)
+	dst.Y = gatherSamplesInto(d.Y, idx, dst.Y)
+	return dst
+}
+
+// SubsetInto is Subset with the same buffer-reuse contract as GatherInto.
+func (d Dataset) SubsetInto(lo, hi int, dst Dataset) Dataset {
+	dst.X = sliceSamplesInto(d.X, lo, hi, dst.X)
+	dst.Y = sliceSamplesInto(d.Y, lo, hi, dst.Y)
+	return dst
+}
+
 func sampleSize(t *tensor.Tensor) int {
 	s := 1
 	for _, dim := range t.Shape()[1:] {
@@ -61,14 +77,45 @@ func sliceSamples(t *tensor.Tensor, lo, hi int) *tensor.Tensor {
 }
 
 func gatherSamples(t *tensor.Tensor, idx []int) *tensor.Tensor {
+	return gatherSamplesInto(t, idx, nil)
+}
+
+func gatherSamplesInto(t *tensor.Tensor, idx []int, dst *tensor.Tensor) *tensor.Tensor {
 	per := sampleSize(t)
 	shape := t.Shape()
 	shape[0] = len(idx)
-	out := tensor.New(shape...)
+	dst = ensureShape(dst, shape)
 	for i, j := range idx {
-		copy(out.Data[i*per:(i+1)*per], t.Data[j*per:(j+1)*per])
+		copy(dst.Data[i*per:(i+1)*per], t.Data[j*per:(j+1)*per])
 	}
-	return out
+	return dst
+}
+
+func sliceSamplesInto(t *tensor.Tensor, lo, hi int, dst *tensor.Tensor) *tensor.Tensor {
+	per := sampleSize(t)
+	shape := t.Shape()
+	shape[0] = hi - lo
+	dst = ensureShape(dst, shape)
+	copy(dst.Data, t.Data[lo*per:hi*per])
+	return dst
+}
+
+// ensureShape returns dst when it already has the wanted shape, or a fresh
+// tensor otherwise.
+func ensureShape(dst *tensor.Tensor, shape []int) *tensor.Tensor {
+	if dst != nil && dst.Dims() == len(shape) {
+		ok := true
+		for i, s := range shape {
+			if dst.Dim(i) != s {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return dst
+		}
+	}
+	return tensor.New(shape...)
 }
 
 // Split divides a dataset chronologically into train/validation/test
@@ -172,13 +219,16 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	for i := range order {
 		order[i] = i
 	}
+	// Per-batch gather buffers and validation scratch are reused across
+	// the whole run; only the last (short) batch forces a reallocation.
+	var batchScratch, evalScratch Dataset
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochSpan := fitSpan.Start("epoch", obstrace.Int("epoch", epoch))
 		lr := cfg.Schedule.Rate(epoch, baseLR)
 		cfg.Optimizer.SetLR(lr)
 		if cfg.Shuffle {
-			order = rng.Perm(n)
+			rng.PermInto(order)
 		}
 		epochStart := time.Now()
 		epochLoss := 0.0
@@ -190,7 +240,8 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 				hi = n
 			}
 			batchSpan := epochSpan.Start("batch", obstrace.Int("batch", batches))
-			batch := tr.Gather(order[lo:hi])
+			batchScratch = tr.GatherInto(order[lo:hi], batchScratch)
+			batch := batchScratch
 			nn.ZeroGrad(model)
 			pred := model.Forward(batch.X, true)
 			l := cfg.Loss.Forward(pred, batch.Y)
@@ -218,14 +269,15 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 		}
 
 		validSpan := epochSpan.Start("validate")
-		vl := EvaluateLoss(model, va, cfg.Loss)
+		vl, evalScratchOut := evaluateLossInto(model, va, cfg.Loss, evalScratch)
+		evalScratch = evalScratchOut
 		validSpan.End()
 		improved := vl < best
 		if improved {
 			best = vl
 			wait = 0
 			if cfg.RestoreBest {
-				bestParams = snapshot(model)
+				bestParams = snapshotInto(model, bestParams)
 			}
 		}
 		stats := EpochStats{
@@ -306,13 +358,21 @@ func gradNorm(params []*nn.Param) float64 {
 	return math.Sqrt(total)
 }
 
-func snapshot(model nn.Layer) []*tensor.Tensor {
+// snapshotInto copies the current parameter values into dst, cloning only
+// on the first call (later snapshots reuse the same buffers).
+func snapshotInto(model nn.Layer, dst []*tensor.Tensor) []*tensor.Tensor {
 	ps := model.Params()
-	out := make([]*tensor.Tensor, len(ps))
-	for i, p := range ps {
-		out[i] = p.Value.Clone()
+	if dst == nil {
+		dst = make([]*tensor.Tensor, len(ps))
 	}
-	return out
+	for i, p := range ps {
+		if dst[i] == nil {
+			dst[i] = p.Value.Clone()
+		} else {
+			dst[i].CopyFrom(p.Value)
+		}
+	}
+	return dst
 }
 
 func restore(model nn.Layer, vals []*tensor.Tensor) {
@@ -324,8 +384,15 @@ func restore(model nn.Layer, vals []*tensor.Tensor) {
 // EvaluateLoss computes the mean loss of the model over a dataset in
 // evaluation mode (dropout off), batching to bound memory.
 func EvaluateLoss(model nn.Layer, d Dataset, loss nn.Loss) float64 {
+	l, _ := evaluateLossInto(model, d, loss, Dataset{})
+	return l
+}
+
+// evaluateLossInto is EvaluateLoss with a reusable batch scratch, so a
+// caller evaluating every epoch (Fit) pays for the buffers once.
+func evaluateLossInto(model nn.Layer, d Dataset, loss nn.Loss, scratch Dataset) (float64, Dataset) {
 	if d.Len() == 0 {
-		return math.NaN()
+		return math.NaN(), scratch
 	}
 	const batch = 256
 	total := 0.0
@@ -335,12 +402,12 @@ func EvaluateLoss(model nn.Layer, d Dataset, loss nn.Loss) float64 {
 		if hi > d.Len() {
 			hi = d.Len()
 		}
-		sub := d.Subset(lo, hi)
-		pred := model.Forward(sub.X, false)
-		total += loss.Forward(pred, sub.Y) * float64(hi-lo)
+		scratch = d.SubsetInto(lo, hi, scratch)
+		pred := model.Forward(scratch.X, false)
+		total += loss.Forward(pred, scratch.Y) * float64(hi-lo)
 		count += hi - lo
 	}
-	return total / float64(count)
+	return total / float64(count), scratch
 }
 
 // Predict runs the model over a dataset in evaluation mode and returns the
