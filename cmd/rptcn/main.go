@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/train"
 )
 
 func main() {
@@ -33,6 +34,10 @@ func main() {
 		samples   = flag.Int("samples", 2500, "synthetic series length")
 		seed      = flag.Uint64("seed", 1, "seed")
 		saveModel = flag.String("save", "", "write the fitted predictor to this file")
+		ckptDir   = flag.String("checkpoint-dir", "", "write crash-safe training checkpoints under this directory")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every N epochs (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
+		guard     = flag.Bool("guard", false, "enable divergence guards (skip NaN/exploding batches, roll back on NaN validation)")
 	)
 	flag.Parse()
 
@@ -77,10 +82,14 @@ func main() {
 		if *kindName == "machine" {
 			kind = trace.Machine
 		}
-		entities, err := trace.ReadCSV(f, kind)
+		entities, stats, err := trace.ReadCSVStats(f, kind)
 		f.Close()
 		if err != nil {
 			fail("%v", err)
+		}
+		if stats.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "rptcn: skipped %d unusable rows in %s (kept %d)\n",
+				stats.Skipped, *input, stats.Rows)
 		}
 		if len(entities) == 0 {
 			fail("no entities in %s", *input)
@@ -112,6 +121,8 @@ func main() {
 			Channels: []int{16, 16, 16}, KernelSize: 3, Dilations: []int{1, 2, 4},
 			Dropout: 0.1, WeightNorm: true, FCWidth: 32,
 		},
+		Checkpoint: train.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume},
+		Guard:      train.GuardConfig{Enabled: *guard},
 	})
 
 	fmt.Printf("training RPTCN (%s) on %s %s, target %s, %d samples\n",
@@ -149,15 +160,8 @@ func main() {
 	fmt.Println()
 
 	if *saveModel != "" {
-		f, err := os.Create(*saveModel)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := p.Save(f); err != nil {
-			f.Close()
-			fail("save: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write: a crash mid-save never leaves a truncated model.
+		if err := p.SaveFile(*saveModel); err != nil {
 			fail("save: %v", err)
 		}
 		fmt.Printf("saved predictor to %s\n", *saveModel)

@@ -44,21 +44,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /debug/vars, and /metrics")
-		input     = flag.String("input", "", "trace CSV in v2018 layout")
-		synthetic = flag.Bool("synthetic", false, "train on a generated workload")
-		entityID  = flag.String("entity", "", "entity to train on (default: first)")
-		kindName  = flag.String("kind", "container", "machine or container")
-		scenario  = flag.String("scenario", "mul-exp", "uni, mul, or mul-exp")
-		window    = flag.Int("window", 32, "input window length")
-		horizon   = flag.Int("horizon", 5, "forecast steps")
-		epochs    = flag.Int("epochs", 30, "max training epochs")
-		samples   = flag.Int("samples", 2500, "synthetic series length")
-		seed      = flag.Uint64("seed", 1, "seed")
-		loadModel = flag.String("load", "", "serve a predictor saved by `rptcn -save` instead of training")
-		traceOn   = flag.Bool("trace", false, "record span traces of training and serving (see /debug/traces)")
-		runDir    = flag.String("rundir", "", "write a run-artifact journal (JSONL) for the training run under this directory")
+		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /debug/vars, and /metrics")
+		input       = flag.String("input", "", "trace CSV in v2018 layout")
+		synthetic   = flag.Bool("synthetic", false, "train on a generated workload")
+		entityID    = flag.String("entity", "", "entity to train on (default: first)")
+		kindName    = flag.String("kind", "container", "machine or container")
+		scenario    = flag.String("scenario", "mul-exp", "uni, mul, or mul-exp")
+		window      = flag.Int("window", 32, "input window length")
+		horizon     = flag.Int("horizon", 5, "forecast steps")
+		epochs      = flag.Int("epochs", 30, "max training epochs")
+		samples     = flag.Int("samples", 2500, "synthetic series length")
+		seed        = flag.Uint64("seed", 1, "seed")
+		loadModel   = flag.String("load", "", "serve a predictor saved by `rptcn -save` instead of training")
+		traceOn     = flag.Bool("trace", false, "record span traces of training and serving (see /debug/traces)")
+		runDir      = flag.String("rundir", "", "write a run-artifact journal (JSONL) for the training run under this directory")
+		ckptDir     = flag.String("checkpoint-dir", "", "write crash-safe training checkpoints under this directory")
+		resume      = flag.Bool("resume", false, "resume training from the newest checkpoint in -checkpoint-dir")
+		guard       = flag.Bool("guard", true, "divergence guards: skip NaN/exploding batches, roll back on NaN validation")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-forecast inference deadline before degrading to the naive fallback")
+		maxInflight = flag.Int("max-inflight", 32, "max concurrent requests before shedding with 429")
 	)
 	flag.Parse()
 	log := obs.Logger("rptcnd")
@@ -71,6 +76,10 @@ func main() {
 		log.Error(msg, "err", err)
 		os.Exit(1)
 	}
+	resilience := server.ResilienceConfig{
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+	}
 
 	if *loadModel != "" {
 		f, err := os.Open(*loadModel)
@@ -82,7 +91,7 @@ func main() {
 		if err != nil {
 			fatal("load model", err)
 		}
-		serve(log, *addr, *debugAddr, p)
+		serve(log, *addr, *debugAddr, p, resilience)
 		return
 	}
 
@@ -115,10 +124,13 @@ func main() {
 		if err != nil {
 			fatal("open trace", err)
 		}
-		entities, err := trace.ReadCSV(f, kind)
+		entities, stats, err := trace.ReadCSVStats(f, kind)
 		f.Close()
 		if err != nil {
 			fatal("read trace", err)
+		}
+		if stats.Skipped > 0 {
+			log.Warn("trace csv had unusable rows", "skipped", stats.Skipped, "kept", stats.Rows)
 		}
 		if len(entities) == 0 {
 			fatal("read trace", errors.New("no entities in "+*input))
@@ -171,8 +183,10 @@ func main() {
 		},
 		// Training progress streams into the same registry /metrics
 		// serves, plus per-epoch structured log lines.
-		Hooks:  hooks,
-		Tracer: obstrace.Default(),
+		Hooks:      hooks,
+		Tracer:     obstrace.Default(),
+		Checkpoint: train.CheckpointConfig{Dir: *ckptDir, Resume: *resume},
+		Guard:      train.GuardConfig{Enabled: *guard},
 	})
 	log.Info("training RPTCN", "scenario", sc.String(), "kind", entity.Kind.String(), "entity", entity.ID)
 	start := time.Now()
@@ -193,10 +207,10 @@ func main() {
 	if err := journal.Close(); err != nil {
 		log.Error("run journal", "err", err)
 	}
-	serve(log, *addr, *debugAddr, p)
+	serve(log, *addr, *debugAddr, p, resilience)
 }
 
-func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor) {
+func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig) {
 	reg := obs.Default()
 	reg.PublishExpvar("rptcn")
 	// Pre-register the training families so /metrics shows them even for
@@ -204,8 +218,9 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor) {
 	train.NewMetricsHook(reg)
 
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default())),
+		Addr: addr,
+		Handler: server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
+			server.WithResilience(res)),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -98,6 +98,13 @@ type PredictorConfig struct {
 	Seed         uint64
 	// TrainFrac/ValidFrac default to the paper's 6:2:2 split.
 	TrainFrac, ValidFrac float64
+	// Checkpoint enables periodic crash-safe training checkpoints (and
+	// resume) when its Dir is set; see train.CheckpointConfig. Runtime
+	// wiring, excluded from model serialization.
+	Checkpoint train.CheckpointConfig `json:"-"`
+	// Guard enables the training divergence guards (skip NaN/exploding
+	// batches, roll back on NaN validation loss); see train.GuardConfig.
+	Guard train.GuardConfig `json:"-"`
 	// Hooks observe training (per-epoch metrics/logging); see train.Hook.
 	// Excluded from model serialization: hooks are runtime wiring.
 	Hooks []train.Hook `json:"-"`
@@ -282,6 +289,8 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 		Seed:        p.Cfg.Seed + 1,
 		RestoreBest: true,
 		ClipNorm:    5,
+		Checkpoint:  p.Cfg.Checkpoint,
+		Guard:       p.Cfg.Guard,
 		Hooks:       p.Cfg.Hooks,
 		TraceParent: fitSpan,
 		Tracer:      p.Cfg.Tracer,

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// resumeConfig is the shared training config of the kill-and-resume
+// tests; each caller passes its own checkpoint directory ("" = none).
+func resumeConfig(dir string) train.Config {
+	return train.Config{
+		Epochs:      6,
+		BatchSize:   12,
+		Optimizer:   opt.NewAdam(1e-2),
+		Loss:        &nn.MSELoss{},
+		Shuffle:     true,
+		Seed:        5,
+		ClipNorm:    5,
+		RestoreBest: true,
+		Checkpoint:  train.CheckpointConfig{Dir: dir},
+	}
+}
+
+func paramsBits(m nn.Layer) [][]uint64 {
+	var out [][]uint64
+	for _, p := range m.Params() {
+		row := make([]uint64, len(p.Value.Data))
+		for i, v := range p.Value.Data {
+			row[i] = math.Float64bits(v)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// TestKillAndResumeBitwise is the headline resilience contract: for the
+// RPTCN model AND the LSTM baseline, a Fit killed mid-epoch and resumed
+// from its newest checkpoint reproduces the uninterrupted run's loss
+// history and final weights bit for bit.
+func TestKillAndResumeBitwise(t *testing.T) {
+	builders := map[string]func(r *tensor.RNG) nn.Layer{
+		"RPTCN": func(r *tensor.RNG) nn.Layer {
+			return NewModel(r, Config{
+				InChannels: 3,
+				Channels:   []int{8, 8},
+				KernelSize: 3,
+				Dropout:    0.1, // dropout streams are the hard part of resume
+				WeightNorm: true,
+				FCWidth:    16,
+				Horizon:    1,
+			})
+		},
+		"LSTM": func(r *tensor.RNG) nn.Layer {
+			return models.NewLSTM(r, models.LSTMConfig{InChannels: 3, Hidden: 12, Horizon: 1})
+		},
+	}
+	ds := synthDataset(11, 48, 3, 16)
+	tr := ds.Subset(0, 32)
+	va := ds.Subset(32, 48)
+
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			baseline := build(tensor.NewRNG(7))
+			baseHist := train.Fit(baseline, tr, va, resumeConfig(""))
+
+			// Kill the run in the middle of epoch 3's batch loop.
+			dir := t.TempDir()
+			cfgKill := resumeConfig(dir)
+			cfgKill.Hooks = []train.Hook{train.FuncHook{BatchEnd: func(s train.BatchStats) {
+				if s.Epoch == 3 && s.Batch == 1 {
+					panic("simulated crash")
+				}
+			}}}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("crash hook never fired")
+					}
+				}()
+				train.Fit(build(tensor.NewRNG(7)), tr, va, cfgKill)
+			}()
+
+			cfgResume := resumeConfig(dir)
+			cfgResume.Checkpoint.Resume = true
+			resumed := build(tensor.NewRNG(7))
+			resHist := train.Fit(resumed, tr, va, cfgResume)
+
+			requireBitwiseEqual(t, "TrainLoss", baseHist.TrainLoss, resHist.TrainLoss)
+			requireBitwiseEqual(t, "ValidLoss", baseHist.ValidLoss, resHist.ValidLoss)
+			if baseHist.BestEpoch != resHist.BestEpoch {
+				t.Fatalf("BestEpoch %d vs %d", resHist.BestEpoch, baseHist.BestEpoch)
+			}
+			wantP, gotP := paramsBits(baseline), paramsBits(resumed)
+			for i := range wantP {
+				for j := range wantP[i] {
+					if wantP[i][j] != gotP[i][j] {
+						t.Fatalf("final weights differ at param %d[%d]", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictorCheckpointResume exercises the checkpoint pass-through at
+// the Predictor level: an interrupted Predictor.Fit resumed in a fresh
+// predictor yields the same history and bitwise-identical forecasts.
+func TestPredictorCheckpointResume(t *testing.T) {
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 700, Seed: 61,
+	})[0]
+	cfg := func(dir string) PredictorConfig {
+		return PredictorConfig{
+			Scenario: MulExp, Window: 16, Horizon: 2, Epochs: 5, Seed: 3,
+			Patience: -1, // disable early stopping: compare full runs
+			Model:    Config{Channels: []int{8, 8}, KernelSize: 3, Dropout: 0.1, WeightNorm: true, FCWidth: 16},
+			Checkpoint: train.CheckpointConfig{
+				Dir: dir, Resume: dir != "",
+			},
+		}
+	}
+
+	baseline := NewPredictor(cfg(""))
+	if err := baseline.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	killCfg := cfg(dir)
+	killCfg.Checkpoint.Resume = false
+	killCfg.Hooks = []train.Hook{train.FuncHook{EpochEnd: func(s train.EpochStats) {
+		if s.Epoch == 2 {
+			panic("simulated crash")
+		}
+	}}}
+	killed := NewPredictor(killCfg)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("crash hook never fired")
+			}
+		}()
+		killed.Fit(e.Matrix(), int(trace.CPUUtilPercent)) //nolint:errcheck
+	}()
+
+	resumed := NewPredictor(cfg(dir))
+	if err := resumed.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+
+	bh, rh := baseline.History(), resumed.History()
+	requireBitwiseEqual(t, "TrainLoss", bh.TrainLoss, rh.TrainLoss)
+	requireBitwiseEqual(t, "ValidLoss", bh.ValidLoss, rh.ValidLoss)
+	want, err := baseline.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t, "Forecast", want, got)
+}

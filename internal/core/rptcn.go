@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -127,12 +128,28 @@ func NewModel(r *tensor.RNG, cfg Config) *Model {
 	return m
 }
 
-// Forward implements nn.Layer.
+// Forward implements nn.Layer. Two fault points cover the chaos suite:
+// "model.forward" can inject a layer panic or latency, and
+// "model.forward.out" can corrupt the output activations with NaN/Inf —
+// both one atomic load when no injector is active.
 func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	fault.Disrupt("model.forward")
 	for _, s := range m.stages {
 		x = s.layer.Forward(x, train)
 	}
+	fault.Corrupt("model.forward.out", x.Data)
 	return x
+}
+
+// Children implements nn.ChildLayers, exposing the stage pipeline (the
+// profiled wrappers when Profile was called) so generic traversals reach
+// the dropout layers' random streams for checkpointing.
+func (m *Model) Children() []nn.Layer {
+	out := make([]nn.Layer, len(m.stages))
+	for i, s := range m.stages {
+		out[i] = s.layer
+	}
+	return out
 }
 
 // Backward implements nn.Layer.

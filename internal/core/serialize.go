@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/dataprep"
+	"repro/internal/fsx"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -53,6 +55,24 @@ func (p *Predictor) Save(w io.Writer) error {
 		Weights:         json.RawMessage(weights.Bytes()),
 	}
 	return json.NewEncoder(w).Encode(dump)
+}
+
+// SaveFile writes the predictor to path crash-safely: the snapshot is
+// staged in a temp file, fsynced, and renamed into place, so a process
+// killed mid-save never leaves a truncated model where a good one was.
+func (p *Predictor) SaveFile(path string) error {
+	return fsx.WriteFileAtomic(path, p.Save)
+}
+
+// LoadPredictorFile restores a predictor saved with SaveFile (or any
+// file containing a Save snapshot).
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadPredictor(f)
 }
 
 // LoadPredictor restores a predictor saved with Save. The result is ready

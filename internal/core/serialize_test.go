@@ -2,10 +2,14 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -110,6 +114,56 @@ func TestLoadPredictorRejectsCorruptInput(t *testing.T) {
 	if _, err := LoadPredictor(strings.NewReader(
 		`{"format":1,"norm_min":[0,1],"norm_max":[1],"selected":[0],"weights":{}}`)); err == nil {
 		t.Fatal("expected error for mismatched extrema")
+	}
+}
+
+// TestSaveFileCrashSafety exercises the atomic write path: a round trip
+// through SaveFile/LoadPredictorFile works, a truncated snapshot yields
+// a clean decode error (never a partial model), and a save that fails
+// mid-write (injected via the fsx.write fault point) leaves the
+// previous good snapshot untouched.
+func TestSaveFileCrashSafety(t *testing.T) {
+	e := trace.Generate(trace.GeneratorConfig{
+		Entities: 1, Kind: trace.Container, Samples: 800, Seed: 55,
+	})[0]
+	p := NewPredictor(PredictorConfig{
+		Scenario: Uni, Window: 16, Horizon: 1, Epochs: 3, Seed: 1,
+		Model: Config{Channels: []int{8}, KernelSize: 3, FCWidth: 8},
+	})
+	if err := p.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(path); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+
+	// Truncate the snapshot: loading must fail cleanly.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(t.TempDir(), "truncated.json")
+	if err := os.WriteFile(truncated, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(truncated); err == nil {
+		t.Fatal("expected error loading truncated snapshot")
+	}
+
+	// A save interrupted mid-write must not clobber the good snapshot.
+	inj := fault.NewInjector(fault.Rule{Scope: "fsx.write", Kind: fault.KindError})
+	off := fault.Activate(inj)
+	err = p.SaveFile(path)
+	off()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("SaveFile error = %v, want injected", err)
+	}
+	if _, err := LoadPredictorFile(path); err != nil {
+		t.Fatalf("previous snapshot corrupted by failed save: %v", err)
 	}
 }
 

@@ -1,0 +1,60 @@
+// Package fsx provides crash-safe filesystem helpers. Model snapshots
+// and training checkpoints must never be observable half-written: a
+// process killed mid-save should leave either the previous file or the
+// new one, never a truncated hybrid that loads as a corrupt model.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// WriteFileAtomic writes the payload produced by write to path with
+// crash-safe semantics: the bytes go to a temporary file in the same
+// directory (same filesystem, so the final step is a true rename), are
+// fsynced to stable storage, and only then renamed over path. A failure
+// at any step removes the temporary file and leaves any previous file
+// at path untouched.
+//
+// The "fsx.write" fault point can inject an I/O error after the payload
+// is written, exercising every caller's cleanup path.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsx: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = fault.Error("fsx.write"); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fsx: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fsx: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fsx: rename %s: %w", path, err)
+	}
+	// Persist the rename itself: fsync the directory so a crash right
+	// after WriteFileAtomic returns cannot resurrect the old file. Some
+	// filesystems reject directory syncs; that is not fatal.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

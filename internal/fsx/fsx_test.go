@@ -1,0 +1,71 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestWriteFileAtomicWritesPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestWriteFileAtomicPreservesOldFileOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encoder exploded")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage")) //nolint:errcheck
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("old file not preserved: %q, %v", got, err)
+	}
+	leftover, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil || len(leftover) != 0 {
+		t.Fatalf("temp files left behind: %v %v", leftover, err)
+	}
+}
+
+func TestWriteFileAtomicFaultInjection(t *testing.T) {
+	inj := fault.NewInjector(fault.Rule{Scope: "fsx.write", Kind: fault.KindError})
+	defer fault.Activate(inj)()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("doomed"))
+		return err
+	})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target file exists after injected failure: %v", err)
+	}
+	leftover, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if len(leftover) != 0 {
+		t.Fatalf("temp files left behind: %v", leftover)
+	}
+}

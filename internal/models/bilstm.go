@@ -61,6 +61,11 @@ func (m *BiLSTM) Params() []*nn.Param {
 	return append(ps, m.out.Params()...)
 }
 
+// Children implements nn.ChildLayers.
+func (m *BiLSTM) Children() []nn.Layer {
+	return []nn.Layer{m.fwd, &m.rev, m.bwd, m.out}
+}
+
 // GRUConfig configures the GRU baseline (architecture exploration beyond
 // the paper).
 type GRUConfig struct {

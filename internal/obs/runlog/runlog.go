@@ -43,6 +43,10 @@ const (
 	TypeEarlyStop = "early_stop"
 	TypeProfile   = "profile"
 	TypeFinal     = "final"
+	// TypeGuard records divergence-guard interventions (skipped batches,
+	// best-weight rollbacks); TypeResume records a checkpoint resume.
+	TypeGuard  = "guard"
+	TypeResume = "resume"
 )
 
 // Run is an open journal. Log is safe for concurrent use; write errors

@@ -16,13 +16,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	obstrace "repro/internal/obs/trace"
@@ -33,12 +38,21 @@ import (
 // cache activations during a forward pass, so inference is serialized with
 // a mutex; the handler itself is safe for concurrent use.
 type Server struct {
-	predictor *core.Predictor
-	mux       *http.ServeMux
-	reg       *obs.Registry
-	log       *slog.Logger
-	tracer    *obstrace.Tracer
-	quality   *qualityMonitor
+	predictor  *core.Predictor
+	mux        *http.ServeMux
+	reg        *obs.Registry
+	log        *slog.Logger
+	tracer     *obstrace.Tracer
+	quality    *qualityMonitor
+	resilience ResilienceConfig
+
+	// Fault-tolerance plumbing: load shedding, circuit breaking, and the
+	// counters that account for every shed/degraded/recovered request.
+	sem      chan struct{}
+	breaker  *breaker
+	dropped  *obs.Counter
+	panics   *obs.Counter
+	canceled *obs.Counter
 
 	inferMu sync.Mutex // guards predictor.ForecastFrom
 }
@@ -79,10 +93,30 @@ func New(p *core.Predictor, opts ...Option) *Server {
 		s.log = obs.Logger("server")
 	}
 	s.quality = newQualityMonitor(s.reg, p)
+	s.resilience.fillDefaults()
+	s.sem = make(chan struct{}, s.resilience.MaxInFlight)
+	s.dropped = s.reg.Counter("rptcn_dropped_requests_total",
+		"Requests shed by the concurrency limiter (429).")
+	s.panics = s.reg.Counter("rptcn_panics_recovered_total",
+		"Panics recovered by the serving middleware instead of crashing the process.")
+	s.canceled = s.reg.Counter("rptcn_canceled_requests_total",
+		"Requests abandoned by the client before the forecast finished (499).")
+	s.breaker = newBreaker(s.resilience.Breaker, s.reg.Gauge("rptcn_circuit_open",
+		"1 while the inference circuit breaker is open or half-open, else 0."))
+	// Pre-register every degradation reason so the family is complete on
+	// /metrics before the first incident.
+	for _, reason := range degradeReasons {
+		s.reg.Counter(degradedName, degradedHelp, obs.L("reason", reason))
+	}
+
 	in := newInstrumentation(s.reg, s.tracer)
-	s.mux.HandleFunc("GET /healthz", in.wrap("/healthz", s.handleHealth))
-	s.mux.HandleFunc("GET /v1/model", in.wrap("/v1/model", s.handleModel))
-	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.handleForecast))
+	// Middleware order (outer to inner): instrumentation sees the final
+	// status; recovery turns handler panics into 500s; the limiter sheds
+	// load before any work happens. /healthz and /metrics bypass the
+	// limiter so probes and scrapes keep answering under overload.
+	s.mux.HandleFunc("GET /healthz", in.wrap("/healthz", s.recovered(s.handleHealth)))
+	s.mux.HandleFunc("GET /v1/model", in.wrap("/v1/model", s.recovered(s.limited(s.handleModel))))
+	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.recovered(s.limited(s.handleForecast))))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	// Method-less fallbacks keep 405 semantics for known paths (a bare
 	// catch-all would swallow wrong-method requests as 404s).
@@ -92,8 +126,20 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// Cardinality guard: every unregistered path lands here and is
 	// instrumented under the single route label "other", so arbitrary
 	// probing cannot mint new metric series.
-	s.mux.HandleFunc("/", in.wrap("other", s.handleNotFound))
+	s.mux.HandleFunc("/", in.wrap("other", s.recovered(s.handleNotFound)))
 	return s
+}
+
+const (
+	degradedName = "rptcn_degraded_forecasts_total"
+	degradedHelp = "Forecasts served by the naive fallback instead of the model, by reason."
+)
+
+// degradeReasons enumerates every way a forecast can degrade.
+var degradeReasons = []string{"panic", "timeout", "invalid_output", "breaker_open"}
+
+func (s *Server) degradedInc(reason string) {
+	s.reg.Counter(degradedName, degradedHelp, obs.L("reason", reason)).Inc()
 }
 
 // methodNotAllowed rejects a request to a known path with the wrong
@@ -157,11 +203,15 @@ type ForecastRequest struct {
 	Indicators [][]float64 `json:"indicators"`
 }
 
-// ForecastResponse is the /v1/forecast response body.
+// ForecastResponse is the /v1/forecast response body. Degraded marks a
+// fallback (last-value) forecast served because the model failed, timed
+// out, or is circuit-broken — still actionable for a resource manager,
+// but flagged so callers can weigh it accordingly.
 type ForecastResponse struct {
 	Forecast []float64 `json:"forecast"`
 	Target   string    `json:"target"`
 	Horizon  int       `json:"horizon"`
+	Degraded bool      `json:"degraded,omitempty"`
 }
 
 // maxBodyBytes bounds request bodies (a window of 8 indicators is tiny;
@@ -172,6 +222,12 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	var req ForecastRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err))
 		return
 	}
@@ -179,27 +235,134 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "indicators must be non-empty")
 		return
 	}
-	s.inferMu.Lock()
-	forecast, err := s.predictor.ForecastFrom(req.Indicators)
-	s.inferMu.Unlock()
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+
+	forecast, res := s.infer(r.Context(), req.Indicators)
+	switch res.kind {
+	case inferOK:
+		// Online quality monitoring: backtest against the actuals the
+		// request already carries and track input drift vs the training
+		// bounds. Skipped on degraded/failed requests — there is nothing
+		// meaningful to backtest.
+		s.quality.observe(req.Indicators, func(h [][]float64) (f []float64, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Inc()
+					err = fmt.Errorf("inference panic: %v", p)
+				}
+			}()
+			s.inferMu.Lock()
+			defer s.inferMu.Unlock()
+			return s.predictor.ForecastFrom(h)
+		})
+		s.writeJSON(w, http.StatusOK, ForecastResponse{
+			Forecast: forecast,
+			Target:   targetName(s.predictor),
+			Horizon:  s.predictor.Cfg.Horizon,
+		})
+	case inferBadInput:
+		s.writeError(w, http.StatusUnprocessableEntity, res.err.Error())
+	case inferCanceled:
+		// The client went away mid-inference. 499, not a 5xx: the model
+		// did nothing wrong, so neither the error counter nor the
+		// breaker hears about it.
+		s.canceled.Inc()
+		s.writeError(w, StatusClientClosedRequest, "client closed request")
+	default: // degraded: fall back to the last-value forecast
+		fb, ok := s.fallbackForecast(req.Indicators)
+		if !ok {
+			s.writeError(w, http.StatusServiceUnavailable,
+				"model unavailable and history too short for a fallback forecast")
+			return
+		}
+		s.degradedInc(res.reason)
+		s.log.Warn("serving degraded forecast", "reason", res.reason)
+		s.writeJSON(w, http.StatusOK, ForecastResponse{
+			Forecast: fb,
+			Target:   targetName(s.predictor),
+			Horizon:  s.predictor.Cfg.Horizon,
+			Degraded: true,
+		})
 	}
-	// Online quality monitoring: backtest against the actuals the request
-	// already carries and track input drift vs the training bounds. One
-	// extra inference per request — acceptable at this model size; the
-	// skipped counter says when histories are too short to afford it.
-	s.quality.observe(req.Indicators, func(h [][]float64) ([]float64, error) {
+}
+
+// infer outcome kinds.
+const (
+	inferOK = iota
+	inferBadInput
+	inferCanceled
+	inferDegraded
+)
+
+type inferResult struct {
+	kind   int
+	reason string // degradation reason, when kind == inferDegraded
+	err    error  // client-side input error, when kind == inferBadInput
+}
+
+// infer runs one model inference with the full protection stack: the
+// circuit breaker may short-circuit it, a panic inside the model is
+// recovered in the inference goroutine (a cross-goroutine panic cannot
+// be caught by HTTP middleware), the request deadline bounds the wait,
+// a canceled client context is surfaced as such, and a non-finite
+// forecast is rejected as a model failure.
+func (s *Server) infer(ctx context.Context, series [][]float64) ([]float64, inferResult) {
+	if !s.breaker.allow() {
+		return nil, inferResult{kind: inferDegraded, reason: "breaker_open"}
+	}
+	type outcome struct {
+		forecast []float64
+		err      error
+		panicked bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				s.log.Error("panic recovered in inference",
+					"panic", p, "stack", string(debug.Stack()))
+				o = outcome{panicked: true}
+			}
+			ch <- o
+		}()
+		// Chaos hook: the server.forecast fault point injects latency or
+		// panics here, upstream of the real model call.
+		fault.Disrupt("server.forecast")
 		s.inferMu.Lock()
 		defer s.inferMu.Unlock()
-		return s.predictor.ForecastFrom(h)
-	})
-	s.writeJSON(w, http.StatusOK, ForecastResponse{
-		Forecast: forecast,
-		Target:   targetName(s.predictor),
-		Horizon:  s.predictor.Cfg.Horizon,
-	})
+		f, err := s.predictor.ForecastFrom(series)
+		o = outcome{forecast: f, err: err}
+	}()
+	timer := time.NewTimer(s.resilience.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		switch {
+		case o.panicked:
+			s.breaker.record(true)
+			return nil, inferResult{kind: inferDegraded, reason: "panic"}
+		case o.err != nil:
+			// ForecastFrom errors are input-validation failures — the
+			// client's problem, not the model's; the breaker stays out.
+			s.breaker.release()
+			return nil, inferResult{kind: inferBadInput, err: o.err}
+		case !finiteAll(o.forecast):
+			s.breaker.record(true)
+			return nil, inferResult{kind: inferDegraded, reason: "invalid_output"}
+		default:
+			s.breaker.record(false)
+			return o.forecast, inferResult{kind: inferOK}
+		}
+	case <-timer.C:
+		s.breaker.record(true)
+		return nil, inferResult{kind: inferDegraded, reason: "timeout"}
+	case <-ctx.Done():
+		// No outcome to record: a disconnect says nothing about model
+		// health, but a half-open probe slot must be handed back.
+		s.breaker.release()
+		return nil, inferResult{kind: inferCanceled}
+	}
 }
 
 func targetName(p *core.Predictor) string {

@@ -105,6 +105,33 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// RNGState is a serializable snapshot of an RNG's position in its
+// stream, including the buffered Box–Muller spare, so checkpoint/resume
+// reproduces Gaussian draws bit for bit.
+type RNGState struct {
+	State    uint64  `json:"state"`
+	HasSpare bool    `json:"has_spare,omitempty"`
+	SpareBits uint64 `json:"spare_bits,omitempty"`
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, HasSpare: r.hasSpare, SpareBits: math.Float64bits(r.spare)}
+}
+
+// SetState rewinds the generator to a captured state: the next draws
+// are bitwise identical to the draws that followed the capture.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.hasSpare = s.HasSpare
+	r.spare = math.Float64frombits(s.SpareBits)
+	if r.state == 0 {
+		// xorshift state must be nonzero; a zero snapshot is corrupt, so
+		// fall back to the seed-0 remap constant.
+		r.state = 0x853c49e6748fea9b
+	}
+}
+
 // RandN fills a new tensor of the given shape with N(0,1) draws.
 func RandN(r *RNG, shape ...int) *Tensor {
 	t := New(shape...)

@@ -7,6 +7,8 @@ import (
 	"math"
 	"sort"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // CSV layout follows the Alibaba v2018 usage tables:
@@ -57,33 +59,79 @@ func WriteCSV(w io.Writer, entities []*EntitySeries) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a v2018-style usage CSV back into entity series. The
-// kind is assigned to every entity (the CSV does not carry it). Rows may
-// arrive in any order; they are sorted by timestamp per entity. Empty
-// fields become NaN (cleaned later by the dataprep stage).
+// ReadStats reports what a lenient CSV load salvaged and what it had to
+// drop. Real usage traces are dirty — a collector hiccup truncates a row,
+// an exporter emits "null" instead of an empty field — and one bad line
+// must not abort a multi-million-row load.
+type ReadStats struct {
+	Rows    int // data rows parsed into samples
+	Skipped int // rows dropped: ragged, unparsable, or duplicate timestamp
+	// Errors holds the first few per-row failures (capped) for logs and
+	// diagnostics; Skipped is the authoritative count.
+	Errors []error
+}
+
+// maxRowErrors caps how many per-row failures are retained and logged
+// verbatim; beyond that only the Skipped counter grows.
+const maxRowErrors = 5
+
+func (st *ReadStats) skip(err error) {
+	st.Skipped++
+	if len(st.Errors) < maxRowErrors {
+		st.Errors = append(st.Errors, err)
+		obs.Logger("trace").Warn("skipping unusable csv row", "err", err)
+	}
+}
+
+// ReadCSV parses a v2018-style usage CSV back into entity series. It is
+// lenient: ragged rows, non-numeric fields, and duplicate timestamps are
+// skipped (counted and logged) rather than aborting the load, and rows
+// may arrive in any order (they are sorted by timestamp per entity).
+// Empty fields become NaN (cleaned later by the dataprep stage). An
+// error is returned only when the input held rows but none were usable.
 func ReadCSV(r io.Reader, kind EntityKind) ([]*EntitySeries, error) {
+	es, _, err := ReadCSVStats(r, kind)
+	return es, err
+}
+
+// ReadCSVStats is ReadCSV plus the salvage accounting, for callers that
+// want to surface how dirty the input was.
+func ReadCSVStats(r io.Reader, kind EntityKind) ([]*EntitySeries, ReadStats, error) {
+	var st ReadStats
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading csv: %w", err)
-	}
-	if len(records) == 0 {
-		return nil, nil
-	}
-	start := 0
-	if records[0][0] == csvHeader[0] {
-		start = 1
-	}
+	// Field-count validation is ours: a ragged row is skipped, not fatal.
+	cr.FieldsPerRecord = -1
+
 	byEntity := map[string][]sample{}
 	var order []string
-	for li, rec := range records[start:] {
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			// A csv-level parse error (stray quote, bare CR) poisons only
+			// its own line; the reader continues at the next one.
+			st.skip(fmt.Errorf("trace: line %d: %w", line, err))
+			continue
+		}
+		if line == 1 && len(rec) > 0 && rec[0] == csvHeader[0] {
+			continue // header row
+		}
+		if len(rec) != len(csvHeader) {
+			st.skip(fmt.Errorf("trace: line %d: %d fields, want %d", line, len(rec), len(csvHeader)))
+			continue
+		}
 		ts, err := strconv.Atoi(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", start+li+1, rec[1])
+			st.skip(fmt.Errorf("trace: line %d: bad timestamp %q", line, rec[1]))
+			continue
 		}
 		var s sample
 		s.ts = ts
+		ok := true
 		for ci, ind := range csvIndicatorOrder {
 			f := rec[2+ci]
 			if f == "" {
@@ -92,31 +140,60 @@ func ReadCSV(r io.Reader, kind EntityKind) ([]*EntitySeries, error) {
 			}
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad value %q", start+li+1, f)
+				st.skip(fmt.Errorf("trace: line %d: bad value %q", line, f))
+				ok = false
+				break
 			}
 			s.vals[ind] = v
 		}
-		if _, ok := byEntity[rec[0]]; !ok {
+		if !ok {
+			continue
+		}
+		if _, seen := byEntity[rec[0]]; !seen {
 			order = append(order, rec[0])
 		}
 		byEntity[rec[0]] = append(byEntity[rec[0]], s)
+		st.Rows++
 	}
+	if st.Skipped > 0 {
+		obs.Logger("trace").Warn("csv load skipped unusable rows",
+			"skipped", st.Skipped, "kept", st.Rows)
+	}
+	if st.Rows == 0 {
+		if st.Skipped > 0 {
+			return nil, st, fmt.Errorf("trace: no usable rows (%d skipped, first: %w)",
+				st.Skipped, st.Errors[0])
+		}
+		return nil, st, nil
+	}
+
 	var out []*EntitySeries
 	for _, id := range order {
 		samples := byEntity[id]
-		sort.Slice(samples, func(a, b int) bool { return samples[a].ts < samples[b].ts })
-		e := &EntitySeries{ID: id, Kind: kind, Interval: inferInterval(samples)}
-		for i := range e.Metrics {
-			e.Metrics[i] = make([]float64, len(samples))
+		sort.SliceStable(samples, func(a, b int) bool { return samples[a].ts < samples[b].ts })
+		// Drop duplicate timestamps (keep the first occurrence): two rows
+		// claiming the same instant cannot both be real.
+		kept := samples[:1]
+		for _, s := range samples[1:] {
+			if s.ts == kept[len(kept)-1].ts {
+				st.skip(fmt.Errorf("trace: entity %s: duplicate timestamp %d", id, s.ts))
+				st.Rows--
+				continue
+			}
+			kept = append(kept, s)
 		}
-		for t, s := range samples {
+		e := &EntitySeries{ID: id, Kind: kind, Interval: inferInterval(kept)}
+		for i := range e.Metrics {
+			e.Metrics[i] = make([]float64, len(kept))
+		}
+		for t, s := range kept {
 			for i := 0; i < NumIndicators; i++ {
 				e.Metrics[i][t] = s.vals[i]
 			}
 		}
 		out = append(out, e)
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // sample is one parsed CSV row.

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// corruptedFixture is a deliberately dirty v2018-style CSV: good rows
+// interleaved with every corruption class the lenient loader must
+// survive — ragged rows, non-numeric timestamps and values, a stray
+// quote, a duplicate timestamp, and out-of-order rows.
+const corruptedFixture = `entity_id,time_stamp,cpu_util_percent,mem_util_percent,cpi,mem_gps,mpki,net_in,net_out,disk_io_percent
+m_1,20,3,30,1,0.5,4,0.1,0.1,10
+m_1,0,1,10,1,0.5,4,0.1,0.1,10
+m_1,0,99,99,9,9.9,9,9.9,9.9,99
+m_1,truncated
+m_1,notanumber,5,50,1,0.5,4,0.1,0.1,10
+m_1,30,null,40,1,0.5,4,0.1,0.1,10
+m_1,10,2,,1,0.5,4,0.1,0.1,10
+m_2,10,8,80,1,0.5,4,0.1,0.1,10
+m_2,0,7,70,1,"unterminated,4,0.1,0.1,10
+`
+
+func TestReadCSVSalvagesCorruptedFixture(t *testing.T) {
+	es, st, err := ReadCSVStats(strings.NewReader(corruptedFixture), Machine)
+	if err != nil {
+		t.Fatalf("lenient load aborted: %v", err)
+	}
+	// Salvageable: m_1 @ 0, 10, 20 and m_2 @ 10. Dropped: the ragged row,
+	// the bad timestamp, the "null" value, the unterminated-quote row
+	// (which swallows the rest of its record), and the duplicate m_1 @ 0.
+	if st.Rows != 4 {
+		t.Fatalf("salvaged rows = %d, want 4", st.Rows)
+	}
+	if st.Skipped != 5 {
+		t.Fatalf("skipped rows = %d, want 5 (errors: %v)", st.Skipped, st.Errors)
+	}
+	if len(st.Errors) == 0 || len(st.Errors) > maxRowErrors {
+		t.Fatalf("error samples = %d, want 1..%d", len(st.Errors), maxRowErrors)
+	}
+
+	if len(es) != 2 || es[0].ID != "m_1" || es[1].ID != "m_2" {
+		t.Fatalf("entities = %+v", es)
+	}
+	// Out-of-order rows sorted; duplicate timestamp kept its FIRST
+	// occurrence (cpu=1 at t=0, not the later 99).
+	cpu := es[0].Series(CPUUtilPercent)
+	if len(cpu) != 3 || cpu[0] != 1 || cpu[1] != 2 || cpu[2] != 3 {
+		t.Fatalf("m_1 cpu series = %v, want [1 2 3]", cpu)
+	}
+	// The empty mem field at t=10 survives as NaN for dataprep to clean.
+	mem := es[0].Series(MemUtilPercent)
+	if !math.IsNaN(mem[1]) {
+		t.Fatalf("empty field not NaN: %v", mem)
+	}
+	if es[0].Interval != 10 {
+		t.Fatalf("inferred interval = %d", es[0].Interval)
+	}
+	if got := es[1].Series(CPUUtilPercent); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("m_2 cpu series = %v, want [8]", got)
+	}
+}
+
+func TestReadCSVAllRowsBadIsError(t *testing.T) {
+	bad := "m_1,notanumber,1,2,3,4,5,6,7,8\nm_1,also,bad\n"
+	es, st, err := ReadCSVStats(strings.NewReader(bad), Machine)
+	if err == nil {
+		t.Fatalf("zero salvageable rows must error, got %d entities", len(es))
+	}
+	if st.Rows != 0 || st.Skipped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadCSVStatsCleanInput(t *testing.T) {
+	es := Generate(GeneratorConfig{Entities: 1, Kind: Container, Samples: 30, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	back, st, err := ReadCSVStats(&buf, Container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 0 || len(st.Errors) != 0 {
+		t.Fatalf("clean input reported skips: %+v", st)
+	}
+	if st.Rows != 30 || len(back) != 1 || back[0].Len() != 30 {
+		t.Fatalf("round trip: rows=%d entities=%d", st.Rows, len(back))
+	}
+}

@@ -1,0 +1,33 @@
+package train
+
+import "math"
+
+// GuardConfig controls the divergence guards. The zero value disables
+// them entirely, leaving Fit's numerical behavior untouched.
+type GuardConfig struct {
+	// Enabled turns the guards on: batches whose loss is NaN/Inf (or
+	// exceeds MaxLoss) do not step the optimizer and are excluded from
+	// the epoch's mean train loss, and an epoch whose validation loss
+	// comes back non-finite restores the best weights seen so far before
+	// training continues.
+	Enabled bool
+	// MaxLoss, when positive, additionally treats any batch loss above
+	// it as divergent ("exploding loss"), not just non-finite values.
+	MaxLoss float64
+}
+
+// badLoss reports whether a batch loss should be skipped under g.
+func (g GuardConfig) badLoss(l float64) bool {
+	if !g.Enabled {
+		return false
+	}
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		return true
+	}
+	return g.MaxLoss > 0 && l > g.MaxLoss
+}
+
+// badNorm reports whether a gradient norm indicates a divergent step.
+func (g GuardConfig) badNorm(gnorm float64) bool {
+	return g.Enabled && (math.IsNaN(gnorm) || math.IsInf(gnorm, 0))
+}

@@ -18,6 +18,10 @@ type BatchStats struct {
 	// only when the run has user hooks (History alone never pays for it);
 	// otherwise it is NaN.
 	GradNorm float64
+	// Skipped reports that the divergence guard rejected this batch (its
+	// loss or gradient norm was non-finite or explosive) and the
+	// optimizer did not step.
+	Skipped bool
 }
 
 // EpochStats describes one completed epoch, delivered after the
@@ -39,6 +43,11 @@ type EpochStats struct {
 	// -1 until a finite validation loss is seen).
 	BestEpoch     int
 	BestValidLoss float64
+	// SkippedBatches counts batches the divergence guard rejected this
+	// epoch; RolledBack reports that a non-finite validation loss made
+	// the guard restore the best weights before the next epoch.
+	SkippedBatches int
+	RolledBack     bool
 }
 
 // StopInfo describes an early stop, delivered before best-weight
@@ -60,12 +69,26 @@ type Hook interface {
 	OnEarlyStop(StopInfo)
 }
 
+// ResumeInfo describes a successful checkpoint resume, delivered before
+// the first resumed epoch runs.
+type ResumeInfo struct {
+	Epoch   int  // first epoch the resumed run will execute
+	Stopped bool // the checkpointed run had already early-stopped
+}
+
+// ResumeObserver is implemented by hooks that want to hear about
+// checkpoint resumes (an optional extension of Hook).
+type ResumeObserver interface {
+	OnResume(ResumeInfo)
+}
+
 // FuncHook adapts optional funcs into a Hook, so callers implement only
 // the events they care about.
 type FuncHook struct {
 	BatchEnd  func(BatchStats)
 	EpochEnd  func(EpochStats)
 	EarlyStop func(StopInfo)
+	Resume    func(ResumeInfo)
 }
 
 // OnBatchEnd implements Hook.
@@ -86,6 +109,13 @@ func (f FuncHook) OnEpochEnd(s EpochStats) {
 func (f FuncHook) OnEarlyStop(s StopInfo) {
 	if f.EarlyStop != nil {
 		f.EarlyStop(s)
+	}
+}
+
+// OnResume implements ResumeObserver.
+func (f FuncHook) OnResume(s ResumeInfo) {
+	if f.Resume != nil {
+		f.Resume(s)
 	}
 }
 
@@ -120,6 +150,13 @@ func NewLogHook(l *slog.Logger) Hook {
 				"dur", s.Duration.Round(time.Millisecond),
 				"best_epoch", s.BestEpoch,
 			)
+			if s.SkippedBatches > 0 || s.RolledBack {
+				l.Warn("divergence guard intervened",
+					"epoch", s.Epoch,
+					"skipped_batches", s.SkippedBatches,
+					"rolled_back", s.RolledBack,
+				)
+			}
 		},
 		EarlyStop: func(s StopInfo) {
 			l.Info("early stop",
@@ -141,6 +178,8 @@ func NewLogHook(l *slog.Logger) Hook {
 //	rptcn_train_loss                gauge (last epoch train loss)
 //	rptcn_train_valid_loss          gauge (last epoch validation loss)
 //	rptcn_train_grad_norm           gauge (mean pre-clip grad norm)
+//	rptcn_train_skipped_batches_total  counter (divergence-guard skips)
+//	rptcn_train_rollbacks_total        counter (best-weight rollbacks)
 //
 // The families are registered eagerly so they appear on /metrics (at
 // zero) even before the first epoch completes.
@@ -155,6 +194,8 @@ func NewMetricsHook(r *obs.Registry) Hook {
 	trainLoss := r.Gauge("rptcn_train_loss", "Training loss of the most recent epoch.")
 	validLoss := r.Gauge("rptcn_train_valid_loss", "Validation loss of the most recent epoch.")
 	gradNorm := r.Gauge("rptcn_train_grad_norm", "Mean pre-clip global gradient norm of the most recent epoch.")
+	skipped := r.Counter("rptcn_train_skipped_batches_total", "Batches rejected by the divergence guard.")
+	rollbacks := r.Counter("rptcn_train_rollbacks_total", "Best-weight rollbacks after a non-finite validation loss.")
 	return FuncHook{
 		EpochEnd: func(s EpochStats) {
 			epochs.Inc()
@@ -163,6 +204,12 @@ func NewMetricsHook(r *obs.Registry) Hook {
 			validLoss.Set(s.ValidLoss)
 			if !math.IsNaN(s.GradNorm) {
 				gradNorm.Set(s.GradNorm)
+			}
+			if s.SkippedBatches > 0 {
+				skipped.Add(float64(s.SkippedBatches))
+			}
+			if s.RolledBack {
+				rollbacks.Inc()
 			}
 		},
 		EarlyStop: func(StopInfo) { stops.Inc() },

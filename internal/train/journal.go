@@ -7,6 +7,9 @@ import (
 	"repro/internal/obs/runlog"
 )
 
+// finite reports a value JSON can carry.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // NewJournalHook returns a hook that streams per-epoch scalars (and the
 // early-stop event) into a run journal. Combined with a config event
 // before Fit and profile/final events after it, the journal is the
@@ -17,25 +20,46 @@ func NewJournalHook(r *runlog.Run) Hook {
 		EpochEnd: func(s EpochStats) {
 			data := map[string]any{
 				"epoch":      s.Epoch,
-				"train_loss": s.TrainLoss,
-				"valid_loss": s.ValidLoss,
 				"lr":         s.LR,
 				"dur_ns":     s.Duration.Nanoseconds(),
 				"improved":   s.Improved,
 				"best_epoch": s.BestEpoch,
 			}
-			// NaN is not valid JSON; omit the key instead.
-			if !math.IsNaN(s.GradNorm) {
+			// NaN/Inf are not valid JSON; omit the key instead (a fully
+			// skipped epoch or a diverged model can produce either).
+			if finite(s.TrainLoss) {
+				data["train_loss"] = s.TrainLoss
+			}
+			if finite(s.ValidLoss) {
+				data["valid_loss"] = s.ValidLoss
+			}
+			if finite(s.GradNorm) {
 				data["grad_norm"] = s.GradNorm
 			}
 			r.Log(runlog.TypeEpoch, data)
+			if s.SkippedBatches > 0 || s.RolledBack {
+				r.Log(runlog.TypeGuard, map[string]any{
+					"epoch":           s.Epoch,
+					"skipped_batches": s.SkippedBatches,
+					"rolled_back":     s.RolledBack,
+				})
+			}
 		},
 		EarlyStop: func(s StopInfo) {
-			r.Log(runlog.TypeEarlyStop, map[string]any{
-				"epoch":           s.Epoch,
-				"best_epoch":      s.BestEpoch,
-				"best_valid_loss": s.BestValidLoss,
-				"patience":        s.Patience,
+			data := map[string]any{
+				"epoch":      s.Epoch,
+				"best_epoch": s.BestEpoch,
+				"patience":   s.Patience,
+			}
+			if finite(s.BestValidLoss) {
+				data["best_valid_loss"] = s.BestValidLoss
+			}
+			r.Log(runlog.TypeEarlyStop, data)
+		},
+		Resume: func(s ResumeInfo) {
+			r.Log(runlog.TypeResume, map[string]any{
+				"epoch":   s.Epoch,
+				"stopped": s.Stopped,
 			})
 		},
 	}

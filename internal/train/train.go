@@ -12,7 +12,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/opt"
 	"repro/internal/tensor"
@@ -162,6 +164,16 @@ type Config struct {
 	// RestoreBest restores the parameter values from the best validation
 	// epoch after training (like Keras restore_best_weights).
 	RestoreBest bool
+	// Checkpoint enables periodic crash-safe checkpoints (and resume)
+	// when its Dir is set. A run interrupted at any point and resumed
+	// from its newest checkpoint produces a loss history and final
+	// weights bitwise identical to the uninterrupted run.
+	Checkpoint CheckpointConfig
+	// Guard enables divergence guards: batches with non-finite (or
+	// explosive) loss are skipped instead of stepping the optimizer, and
+	// a non-finite validation loss rolls the weights back to the best
+	// epoch. With Guard zero-valued, Fit behaves exactly as before.
+	Guard GuardConfig
 	// Hooks observe the run (per-batch, per-epoch, early-stop events).
 	// They fire in slice order, after the built-in History hook, and
 	// always before best-weight restoration.
@@ -213,6 +225,47 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	var bestParams []*tensor.Tensor
 	baseLR := cfg.Optimizer.LR()
 	wait := 0
+	// The guard's rollback needs best weights even when the caller did
+	// not ask for final restoration.
+	keepBest := cfg.RestoreBest || cfg.Guard.Enabled
+
+	ckpt := cfg.Checkpoint
+	ckpt.fillDefaults()
+	startEpoch := 0
+	if ckpt.enabled() && ckpt.Resume {
+		dump, err := latestLoadableCheckpoint(ckpt.Dir)
+		switch {
+		case err != nil:
+			obs.Logger("train").Warn("checkpoint resume failed; starting fresh",
+				"dir", ckpt.Dir, "err", err)
+		case dump != nil:
+			b, w, bp, rerr := restoreCheckpoint(dump, model, cfg.Optimizer, rng, hist)
+			if rerr != nil {
+				obs.Logger("train").Error("checkpoint restore failed; training from current state",
+					"dir", ckpt.Dir, "err", rerr)
+				break
+			}
+			best, wait, startEpoch = b, w, dump.Epoch
+			if bp != nil {
+				bestParams = bp
+			}
+			obs.Logger("train").Info("resumed from checkpoint",
+				"dir", ckpt.Dir, "epoch", dump.Epoch, "stopped", dump.Stopped)
+			for _, h := range hooks {
+				if ro, ok := h.(ResumeObserver); ok {
+					ro.OnResume(ResumeInfo{Epoch: startEpoch, Stopped: dump.Stopped})
+				}
+			}
+			if dump.Stopped || startEpoch >= cfg.Epochs {
+				// The checkpointed run had already finished (early stop
+				// or full epoch budget); don't train past it.
+				if cfg.RestoreBest && bestParams != nil {
+					restore(model, bestParams)
+				}
+				return hist
+			}
+		}
+	}
 
 	n := tr.Len()
 	order := make([]int, n)
@@ -223,7 +276,7 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 	// the whole run; only the last (short) batch forces a reallocation.
 	var batchScratch, evalScratch Dataset
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochSpan := fitSpan.Start("epoch", obstrace.Int("epoch", epoch))
 		lr := cfg.Schedule.Rate(epoch, baseLR)
 		cfg.Optimizer.SetLR(lr)
@@ -234,6 +287,8 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 		epochLoss := 0.0
 		normSum := 0.0
 		batches := 0
+		applied := 0
+		skippedBatches := 0
 		for lo := 0; lo < n; lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
 			if hi > n {
@@ -245,24 +300,42 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 			nn.ZeroGrad(model)
 			pred := model.Forward(batch.X, true)
 			l := cfg.Loss.Forward(pred, batch.Y)
-			model.Backward(cfg.Loss.Backward())
+			l = fault.NaN("train.batch.loss", l)
+			// Divergence guard: a non-finite (or explosive) batch loss
+			// skips backward+step entirely — the weights, the optimizer
+			// slots, and (critically for resume determinism) every RNG
+			// stream are left exactly as if the batch had not happened.
+			skipped := cfg.Guard.badLoss(l)
 			gnorm := math.NaN()
-			switch {
-			case cfg.ClipNorm > 0:
-				gnorm = opt.ClipGradNorm(model.Params(), cfg.ClipNorm)
-			case wantGradNorm:
-				gnorm = gradNorm(model.Params())
+			if !skipped {
+				model.Backward(cfg.Loss.Backward())
+				switch {
+				case cfg.ClipNorm > 0:
+					gnorm = opt.ClipGradNorm(model.Params(), cfg.ClipNorm)
+				case wantGradNorm:
+					gnorm = gradNorm(model.Params())
+				}
+				if cfg.ClipNorm > 0 && cfg.Guard.badNorm(gnorm) {
+					// Finite loss but NaN/Inf gradients: still divergent.
+					skipped = true
+				}
 			}
-			cfg.Optimizer.Step(model.Params())
-			epochLoss += l
-			if !math.IsNaN(gnorm) {
+			if skipped {
+				skippedBatches++
+			} else {
+				cfg.Optimizer.Step(model.Params())
+				epochLoss += l
+				applied++
+			}
+			if !math.IsNaN(gnorm) && !skipped {
 				normSum += gnorm
 			}
-			batchSpan.SetAttr(obstrace.Float("loss", l))
+			batchSpan.SetAttr(obstrace.Float("loss", l), obstrace.Bool("skipped", skipped))
 			batchSpan.End()
 			for _, h := range hooks {
 				h.OnBatchEnd(BatchStats{
 					Epoch: epoch, Batch: batches, Size: hi - lo, Loss: l, GradNorm: gnorm,
+					Skipped: skipped,
 				})
 			}
 			batches++
@@ -272,23 +345,40 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 		vl, evalScratchOut := evaluateLossInto(model, va, cfg.Loss, evalScratch)
 		evalScratch = evalScratchOut
 		validSpan.End()
+		// NaN compares false, so a NaN validation loss can never become
+		// the best — and NaN weights can never be snapshotted as "best".
 		improved := vl < best
 		if improved {
 			best = vl
 			wait = 0
-			if cfg.RestoreBest {
+			if keepBest {
 				bestParams = snapshotInto(model, bestParams)
 			}
 		}
+		rolledBack := false
+		if !improved && cfg.Guard.Enabled && (math.IsNaN(vl) || math.IsInf(vl, 0)) && bestParams != nil {
+			// The model itself has diverged (validation consumes no RNG,
+			// so this is the weights, not bad luck): roll back to the
+			// best weights and let training continue from there.
+			restore(model, bestParams)
+			rolledBack = true
+		}
 		stats := EpochStats{
-			Epoch:     epoch,
-			TrainLoss: epochLoss / float64(batches),
-			ValidLoss: vl,
-			GradNorm:  math.NaN(),
-			LR:        lr,
-			Duration:  time.Since(epochStart),
-			Improved:  improved,
-			BestEpoch: hist.BestEpoch,
+			Epoch:          epoch,
+			TrainLoss:      epochLoss / float64(batches),
+			ValidLoss:      vl,
+			GradNorm:       math.NaN(),
+			LR:             lr,
+			Duration:       time.Since(epochStart),
+			Improved:       improved,
+			BestEpoch:      hist.BestEpoch,
+			SkippedBatches: skippedBatches,
+			RolledBack:     rolledBack,
+		}
+		if skippedBatches > 0 {
+			// Skipped batches contribute no loss; average the applied
+			// ones (NaN when the whole epoch was skipped).
+			stats.TrainLoss = epochLoss / float64(applied)
 		}
 		if improved {
 			stats.BestEpoch = epoch
@@ -306,9 +396,11 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 			obstrace.Bool("improved", improved),
 		)
 		epochSpan.End()
+		stopping := false
 		if !improved && cfg.Patience > 0 {
 			wait++
 			if wait >= cfg.Patience {
+				stopping = true
 				stop := StopInfo{
 					Epoch: epoch, BestEpoch: hist.BestEpoch,
 					BestValidLoss: best, Patience: cfg.Patience,
@@ -316,8 +408,23 @@ func Fit(model nn.Layer, tr, va Dataset, cfg Config) *History {
 				for _, h := range hooks {
 					h.OnEarlyStop(stop)
 				}
-				break
 			}
+		}
+		if ckpt.enabled() && (stopping || epoch == cfg.Epochs-1 || (epoch+1)%ckpt.Every == 0) {
+			dump, err := captureCheckpoint(model, cfg.Optimizer, rng, hist,
+				best, wait, bestParams, epoch+1, stopping)
+			if err == nil {
+				err = saveCheckpoint(ckpt.Dir, ckpt.Keep, dump)
+			}
+			if err != nil {
+				// Checkpointing is best-effort: a failed write must never
+				// kill a training run that is otherwise healthy.
+				obs.Logger("train").Warn("checkpoint write failed; training continues",
+					"dir", ckpt.Dir, "epoch", epoch, "err", err)
+			}
+		}
+		if stopping {
+			break
 		}
 	}
 	cfg.Optimizer.SetLR(baseLR)
