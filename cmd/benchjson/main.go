@@ -12,6 +12,13 @@
 // Without -parse the tool shells out to `go test -bench` for the packages
 // in -pkgs; with -parse it ingests previously captured `go test -bench`
 // output (use "-" for stdin).
+//
+// With -check the tool becomes a regression gate instead of a recorder:
+// it measures the named benchmarks fresh, compares ns/op against the
+// committed -baseline section, and exits non-zero when any of them
+// regressed by more than -max-regress percent:
+//
+//	benchjson -check -baseline after-pr5 -names BenchmarkMatMulLarge,BenchmarkFit -max-regress 20
 package main
 
 import (
@@ -28,13 +35,16 @@ import (
 	"time"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. Extra holds custom b.ReportMetric units
+// (e.g. "req/s", "p99-ns" from the serving benchmarks) that are not part
+// of the standard -benchmem columns.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Section is one labeled capture (e.g. "before" / "after").
@@ -60,6 +70,30 @@ type File struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// metricPair matches one "<value> <unit>" column; units outside the
+// standard -benchmem set are custom b.ReportMetric outputs.
+var metricPair = regexp.MustCompile(`([0-9.e+-]+) ([A-Za-z][^\s]*)`)
+
+// extraMetrics extracts custom metric columns from a benchmark line.
+func extraMetrics(line string) map[string]float64 {
+	var extra map[string]float64
+	for _, m := range metricPair.FindAllStringSubmatch(line, -1) {
+		switch m[2] {
+		case "ns/op", "B/op", "allocs/op", "MB/s":
+			continue
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		if extra == nil {
+			extra = make(map[string]float64)
+		}
+		extra[m[2]] = v
+	}
+	return extra
+}
+
 // parseBench extracts benchmark results from `go test -bench` output.
 func parseBench(r io.Reader) ([]Result, error) {
 	data, err := io.ReadAll(r)
@@ -81,6 +115,7 @@ func parseBench(r io.Reader) ([]Result, error) {
 		if m[5] != "" {
 			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
+		res.Extra = extraMetrics(line)
 		out = append(out, res)
 	}
 	return out, nil
@@ -111,6 +146,55 @@ func runBenchmarks(pkgs []string, benchRE, benchtime string) ([]Result, error) {
 	return all, nil
 }
 
+// findSection returns the section with the given label, or nil.
+func findSection(f *File, label string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Label == label {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// checkRegression compares fresh ns/op numbers for the named benchmarks
+// against the baseline section. It returns one report line per name and
+// ok=false when any benchmark is missing or slower than the baseline by
+// more than maxPct percent. Faster-than-baseline results pass; only
+// slowdowns gate.
+func checkRegression(base *Section, fresh []Result, names []string, maxPct float64) (lines []string, ok bool) {
+	byName := func(rs []Result, name string) *Result {
+		for i := range rs {
+			if rs[i].Name == name {
+				return &rs[i]
+			}
+		}
+		return nil
+	}
+	ok = true
+	for _, name := range names {
+		ref := byName(base.Results, name)
+		got := byName(fresh, name)
+		switch {
+		case ref == nil:
+			lines = append(lines, fmt.Sprintf("FAIL %s: not in baseline section %q", name, base.Label))
+			ok = false
+		case got == nil:
+			lines = append(lines, fmt.Sprintf("FAIL %s: no fresh measurement", name))
+			ok = false
+		default:
+			delta := (got.NsPerOp - ref.NsPerOp) / ref.NsPerOp * 100
+			verdict := "ok"
+			if delta > maxPct {
+				verdict = "FAIL"
+				ok = false
+			}
+			lines = append(lines, fmt.Sprintf("%s %s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)",
+				verdict, name, got.NsPerOp, ref.NsPerOp, delta, maxPct))
+		}
+	}
+	return lines, ok
+}
+
 // upsertSection replaces the section with the same label or appends it.
 func upsertSection(f *File, s Section) {
 	for i := range f.Sections {
@@ -130,8 +214,17 @@ func main() {
 		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 		pkgsFlag  = flag.String("pkgs", "./internal/tensor,./internal/nn,./internal/train", "comma-separated packages to benchmark")
 		parse     = flag.String("parse", "", "ingest saved `go test -bench` output from this file instead of running (\"-\" = stdin)")
+
+		check      = flag.Bool("check", false, "regression-gate mode: compare fresh runs against -baseline instead of recording")
+		baseline   = flag.String("baseline", "", "section label to compare against in -check mode (required with -check)")
+		names      = flag.String("names", "", "comma-separated benchmark names to gate in -check mode (required with -check)")
+		maxRegress = flag.Float64("max-regress", 20, "maximum allowed ns/op slowdown percentage in -check mode")
 	)
 	flag.Parse()
+	if *check {
+		runCheck(*out, *baseline, *names, *maxRegress, *parse, *pkgsFlag, *benchtime)
+		return
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
 		flag.Usage()
@@ -196,4 +289,61 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d results to section %q of %s\n", len(results), *label, *out)
+}
+
+// runCheck implements -check: measure the named benchmarks and gate on
+// the committed baseline section.
+func runCheck(out, baseline, namesCSV string, maxRegress float64, parse, pkgsCSV, benchtime string) {
+	if baseline == "" || namesCSV == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -check requires -baseline and -names")
+		os.Exit(2)
+	}
+	names := strings.Split(namesCSV, ",")
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	base := findSection(&doc, baseline)
+	if base == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: no section %q in %s\n", baseline, out)
+		os.Exit(1)
+	}
+
+	var fresh []Result
+	if parse != "" {
+		var r io.Reader = os.Stdin
+		if parse != "-" {
+			f, ferr := os.Open(parse)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		fresh, err = parseBench(r)
+	} else {
+		// Anchor each name so BenchmarkFit does not also run BenchmarkFitTracerOn.
+		re := "^(" + strings.Join(names, "|") + ")$"
+		fresh, err = runBenchmarks(strings.Split(pkgsCSV, ","), re, benchtime)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	lines, ok := checkRegression(base, fresh, names, maxRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
 }

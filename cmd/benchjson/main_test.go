@@ -44,6 +44,81 @@ ok      repro/internal/nn       12.3s
 	}
 }
 
+func TestParseBenchExtraMetrics(t *testing.T) {
+	raw := `BenchmarkForecastServingBatched 	   28741	    128766 ns/op	   4130466 p50-ns	   7276047 p99-ns	      7766 req/s`
+	res, err := parseBench(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+	r := res[0]
+	if r.NsPerOp != 128766 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	want := map[string]float64{"p50-ns": 4130466, "p99-ns": 7276047, "req/s": 7766}
+	for k, v := range want {
+		if r.Extra[k] != v {
+			t.Errorf("extra[%q] = %v, want %v (all: %v)", k, r.Extra[k], v, r.Extra)
+		}
+	}
+	if len(r.Extra) != len(want) {
+		t.Errorf("extra = %v, want exactly %v", r.Extra, want)
+	}
+
+	// Standard rows carry no extras.
+	res, err = parseBench(strings.NewReader(
+		`BenchmarkMatMulSmall    11799   17471 ns/op        1406.70 MB/s      8320 B/op          5 allocs/op`))
+	if err != nil || len(res) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if res[0].Extra != nil {
+		t.Errorf("standard row grew extras: %v", res[0].Extra)
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := &Section{
+		Label: "after-pr5",
+		Results: []Result{
+			{Name: "BenchmarkMatMulLarge", NsPerOp: 10_000_000},
+			{Name: "BenchmarkFit", NsPerOp: 650_000},
+		},
+	}
+	names := []string{"BenchmarkMatMulLarge", "BenchmarkFit"}
+
+	// Within the limit (one slightly slower, one faster) passes.
+	fresh := []Result{
+		{Name: "BenchmarkMatMulLarge", NsPerOp: 11_500_000},
+		{Name: "BenchmarkFit", NsPerOp: 600_000},
+	}
+	lines, ok := checkRegression(base, fresh, names, 20)
+	if !ok {
+		t.Fatalf("within-limit run failed: %v", lines)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d report lines, want 2: %v", len(lines), lines)
+	}
+
+	// 25% slower than baseline with a 20% limit fails.
+	fresh[0].NsPerOp = 12_500_000
+	if _, ok := checkRegression(base, fresh, names, 20); ok {
+		t.Fatal("run 25 percent slower passed a 20 percent gate")
+	}
+
+	// A gated benchmark missing from the fresh run fails.
+	if _, ok := checkRegression(base, fresh[:1], names, 20); ok {
+		t.Fatal("missing fresh measurement passed the gate")
+	}
+
+	// A gated benchmark missing from the baseline fails loudly rather than
+	// silently passing.
+	if _, ok := checkRegression(&Section{Label: "x"}, fresh, names, 20); ok {
+		t.Fatal("missing baseline entry passed the gate")
+	}
+}
+
 func TestUpsertSection(t *testing.T) {
 	var f File
 	upsertSection(&f, Section{Label: "before", Results: []Result{{Name: "A"}}})

@@ -60,6 +60,7 @@ func main() {
 	}
 	if *verbose {
 		opts.Hooks = append(opts.Hooks, train.NewLogHook(obs.Logger("experiments")))
+		fmt.Fprint(os.Stderr, gemmSpeedupTable(*seed))
 	}
 	if *traceOut != "" {
 		obstrace.Default().SetEnabled(true)

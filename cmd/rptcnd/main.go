@@ -64,6 +64,8 @@ func main() {
 		guard       = flag.Bool("guard", true, "divergence guards: skip NaN/exploding batches, roll back on NaN validation")
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-forecast inference deadline before degrading to the naive fallback")
 		maxInflight = flag.Int("max-inflight", 32, "max concurrent requests before shedding with 429")
+		maxBatch    = flag.Int("max-batch", 32, "max forecasts fused into one model pass (1 disables micro-batching)")
+		maxDelay    = flag.Duration("max-batch-delay", 2*time.Millisecond, "longest a forecast waits for batch-mates before running anyway")
 	)
 	flag.Parse()
 	log := obs.Logger("rptcnd")
@@ -80,6 +82,10 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
 	}
+	batching := server.BatchConfig{
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+	}
 
 	if *loadModel != "" {
 		f, err := os.Open(*loadModel)
@@ -91,7 +97,7 @@ func main() {
 		if err != nil {
 			fatal("load model", err)
 		}
-		serve(log, *addr, *debugAddr, p, resilience)
+		serve(log, *addr, *debugAddr, p, resilience, batching)
 		return
 	}
 
@@ -207,10 +213,10 @@ func main() {
 	if err := journal.Close(); err != nil {
 		log.Error("run journal", "err", err)
 	}
-	serve(log, *addr, *debugAddr, p, resilience)
+	serve(log, *addr, *debugAddr, p, resilience, batching)
 }
 
-func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig) {
+func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig, batch server.BatchConfig) {
 	reg := obs.Default()
 	reg.PublishExpvar("rptcn")
 	// Pre-register the training families so /metrics shows them even for
@@ -220,7 +226,7 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 	srv := &http.Server{
 		Addr: addr,
 		Handler: server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
-			server.WithResilience(res)),
+			server.WithResilience(res), server.WithBatching(batch)),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,

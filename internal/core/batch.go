@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataprep"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file is the batched serving path: PrepareInput runs the
+// per-request data pipeline (read-only against the fitted predictor, so
+// many requests can prepare concurrently), and ForecastBatch stacks
+// prepared windows into one grad-free arena forward. Because every
+// forward kernel is row-independent (pinned by TestGemmRowIndependence
+// and the nn equivalence suite), each row of a batched product is
+// bitwise identical to running that request alone — micro-batching and
+// power-of-two padding never change a single answer.
+
+// PreparedInput is one request's model-ready window: cleaned,
+// normalized, screened and expanded, flattened to [channels × window]
+// row-major. Build it with Predictor.PrepareInput.
+type PreparedInput struct {
+	data     []float64
+	channels int
+}
+
+// inferBuf is the reusable input tensor + arena for one padded batch
+// size. Keeping one per size (instead of resizing a single arena) keeps
+// every slot shape-stable, so steady-state forwards allocate nothing.
+type inferBuf struct {
+	x     *tensor.Tensor
+	arena *nn.InferArena
+}
+
+// PrepareInput validates raw indicator history (same layout as Fit) and
+// runs the stored data pipeline — clean, normalize, screen, expand —
+// returning a model-ready window. It only reads the fitted predictor
+// state, so it is safe to call from many goroutines at once; errors here
+// are client errors (bad shape, too little history), distinct from the
+// server-side failures ForecastBatch can hit.
+func (p *Predictor) PrepareInput(series [][]float64) (*PreparedInput, error) {
+	if p.model == nil {
+		return nil, errors.New("core: predictor not fitted")
+	}
+	if len(series) != len(p.norm.Min) {
+		return nil, fmt.Errorf("core: expected %d indicator series, got %d", len(p.norm.Min), len(series))
+	}
+	cleaned := dataprep.Clean(series)
+	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
+		return nil, errors.New("core: no complete records in input")
+	}
+	normed := p.norm.Transform(cleaned)
+	sel := dataprep.Select(normed, p.selected)
+	if p.Cfg.Scenario == MulExp {
+		sel = p.expandForServe(sel)
+	}
+	if len(sel) == 0 || len(sel[0]) < p.Cfg.Window {
+		return nil, fmt.Errorf("core: need at least %d complete samples, have %d",
+			p.MinHistory(), len(cleaned[0]))
+	}
+	c, n, w := len(sel), len(sel[0]), p.Cfg.Window
+	in := &PreparedInput{data: make([]float64, c*w), channels: c}
+	for ci := 0; ci < c; ci++ {
+		copy(in.data[ci*w:(ci+1)*w], sel[ci][n-w:])
+	}
+	return in, nil
+}
+
+// expandForServe is the concurrency-safe wrapper around expand for the
+// serving path: the one mutation expand can perform — lazily fixing the
+// weighted expansion factors on a loaded predictor that predates their
+// serialization — happens under the predictor's mutex.
+func (p *Predictor) expandForServe(sel [][]float64) [][]float64 {
+	if p.Cfg.Expansion == ExpandWeighted {
+		p.wfMu.Lock()
+		defer p.wfMu.Unlock()
+	}
+	return p.expand(sel)
+}
+
+// ForecastBatch runs one grad-free forward over a stack of prepared
+// windows and returns each request's denormalized Horizon-step forecast,
+// in input order. The batch is zero-padded to the next power of two so a
+// handful of arenas covers every size; padding rows are discarded and —
+// by row independence — never influence real rows. Results are bitwise
+// identical to calling ForecastFrom per request at any batch size or
+// worker count.
+func (p *Predictor) ForecastBatch(inputs []*PreparedInput) ([][]float64, error) {
+	if p.model == nil {
+		return nil, errors.New("core: predictor not fitted")
+	}
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	c, w := inputs[0].channels, p.Cfg.Window
+	for i, in := range inputs {
+		if in == nil || in.channels != c || len(in.data) != c*w {
+			return nil, fmt.Errorf("core: batch input %d has inconsistent shape", i)
+		}
+	}
+	padded := ceilPow2(len(inputs))
+
+	p.inferMu.Lock()
+	defer p.inferMu.Unlock()
+	if p.inferBufs == nil {
+		p.inferBufs = make(map[int]*inferBuf)
+	}
+	buf := p.inferBufs[padded]
+	if buf == nil || buf.x.Dim(1) != c || buf.x.Dim(2) != w {
+		buf = &inferBuf{x: tensor.New(padded, c, w), arena: nn.NewInferArena()}
+		p.inferBufs[padded] = buf
+	}
+	x := buf.x
+	for i, in := range inputs {
+		copy(x.Data[i*c*w:(i+1)*c*w], in.data)
+	}
+	for i := len(inputs) * c * w; i < padded*c*w; i++ {
+		x.Data[i] = 0
+	}
+	buf.arena.Reset()
+	out := p.model.InferForward(buf.arena, x)
+
+	h := p.Cfg.Horizon
+	res := make([][]float64, len(inputs))
+	for i := range inputs {
+		res[i] = p.norm.Inverse(p.target, out.Data[i*h:(i+1)*h])
+	}
+	return res, nil
+}
+
+// ceilPow2 returns the smallest power of two ≥ n.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

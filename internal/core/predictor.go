@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/dataprep"
 	"repro/internal/metrics"
@@ -166,6 +167,13 @@ type Predictor struct {
 	test      train.Dataset
 	prepared  [][]float64 // fully prepared channel series (post expansion)
 	targetRow int         // row of the target within prepared
+
+	// Batched-serving state (see batch.go): one reusable input tensor +
+	// arena per padded batch size, serialized by inferMu; wfMu guards the
+	// lazy weighted-factor fix-up on loaded predictors.
+	inferMu   sync.Mutex
+	inferBufs map[int]*inferBuf
+	wfMu      sync.Mutex
 }
 
 // NewPredictor returns an unfitted predictor.
@@ -363,35 +371,19 @@ func (p *Predictor) Forecast() ([]float64, error) {
 // from fresh raw history (same indicator layout as the series passed to
 // Fit). The stored normalizer and screening are applied — nothing is
 // refit — so this is the online serving path: feed the latest monitoring
-// window, get a denormalized forecast.
+// window, get a denormalized forecast. It runs as a batch of one through
+// the grad-free arena path (see batch.go), bitwise identical to the
+// training-path forward.
 func (p *Predictor) ForecastFrom(series [][]float64) ([]float64, error) {
-	if p.model == nil {
-		return nil, errors.New("core: predictor not fitted")
+	in, err := p.PrepareInput(series)
+	if err != nil {
+		return nil, err
 	}
-	if len(series) != len(p.norm.Min) {
-		return nil, fmt.Errorf("core: expected %d indicator series, got %d", len(p.norm.Min), len(series))
+	res, err := p.ForecastBatch([]*PreparedInput{in})
+	if err != nil {
+		return nil, err
 	}
-	cleaned := dataprep.Clean(series)
-	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
-		return nil, errors.New("core: no complete records in input")
-	}
-	normed := p.norm.Transform(cleaned)
-	sel := dataprep.Select(normed, p.selected)
-	if p.Cfg.Scenario == MulExp {
-		sel = p.expand(sel)
-	}
-	if len(sel) == 0 || len(sel[0]) < p.Cfg.Window {
-		return nil, fmt.Errorf("core: need at least %d complete samples, have %d",
-			p.Cfg.Window+p.Cfg.ExpandFactor-1, len(cleaned[0]))
-	}
-	c := len(sel)
-	n := len(sel[0])
-	x := tensor.New(1, c, p.Cfg.Window)
-	for ci := 0; ci < c; ci++ {
-		copy(x.Data[ci*p.Cfg.Window:(ci+1)*p.Cfg.Window], sel[ci][n-p.Cfg.Window:])
-	}
-	out := p.model.Forward(x, false)
-	return p.norm.Inverse(p.target, append([]float64(nil), out.Data...)), nil
+	return res[0], nil
 }
 
 // DenormalizeTarget maps values of the target indicator from the

@@ -141,6 +141,20 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
+// InferForward implements nn.InferLayer: the grad-free arena forward
+// used by batched serving. It visits the same fault points as Forward
+// ("model.forward" disruption, "model.forward.out" corruption) and
+// produces output bitwise identical to Forward(x, false), drawing every
+// intermediate from the arena so a warmed-up pass allocates nothing.
+func (m *Model) InferForward(a *nn.InferArena, x *tensor.Tensor) *tensor.Tensor {
+	fault.Disrupt("model.forward")
+	for _, s := range m.stages {
+		x = nn.Infer(s.layer, a, x)
+	}
+	fault.Corrupt("model.forward.out", x.Data)
+	return x
+}
+
 // Children implements nn.ChildLayers, exposing the stage pipeline (the
 // profiled wrappers when Profile was called) so generic traversals reach
 // the dropout layers' random streams for checkpointing.

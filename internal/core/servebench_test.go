@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// servingPredictor is the shared fixture for the serving-path benchmarks:
+// a fitted RPTCN predictor plus 32 prepared request windows.
+func servingPredictor(b *testing.B) (*Predictor, []*PreparedInput) {
+	series := syntheticSeries(200)
+	p := NewPredictor(PredictorConfig{
+		Scenario:  Mul,
+		Window:    32,
+		Horizon:   1,
+		Epochs:    1,
+		BatchSize: 16,
+		Seed:      4,
+		Model:     Config{Channels: []int{16, 16, 16}, KernelSize: 3, WeightNorm: true},
+	})
+	if err := p.Fit(series, 0); err != nil {
+		b.Fatal(err)
+	}
+	wins := servingWindows(p, len(series), 32)
+	inputs := make([]*PreparedInput, len(wins))
+	for i, w := range wins {
+		in, err := p.PrepareInput(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs[i] = in
+	}
+	return p, inputs
+}
+
+// BenchmarkServingSerialTrainingPath32 reproduces the pre-arena serving
+// cost: 32 requests answered one at a time, each paying a full
+// training-capable Forward (allocating every intermediate) under the
+// serialization mutex — exactly what ForecastFrom did before the arena
+// path existed.
+func BenchmarkServingSerialTrainingPath32(b *testing.B) {
+	p, inputs := servingPredictor(b)
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			mu.Lock()
+			x := tensor.New(1, in.channels, p.Cfg.Window)
+			copy(x.Data, in.data)
+			out := p.model.Forward(x, false)
+			_ = p.norm.Inverse(p.target, out.Data)
+			mu.Unlock()
+		}
+	}
+}
+
+// BenchmarkServingBatchedArena32 is the after: the same 32 requests fused
+// into one grad-free arena forward.
+func BenchmarkServingBatchedArena32(b *testing.B) {
+	p, inputs := servingPredictor(b)
+	if _, err := p.ForecastBatch(inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ForecastBatch(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

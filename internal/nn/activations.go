@@ -98,35 +98,43 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // [batch, n] tensor, parallelized across rows (each row's reduction stays
 // sequential, so results do not depend on the worker count).
 func softmaxRows(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Dim(0), x.Dim(1))
+	softmaxRowsInto(x, out)
+	return out
+}
+
+// softmaxRowsInto writes softmax(x) row-by-row into out. The row kernel
+// is a named function so the small-size inline path (the one arena
+// inference takes) allocates no closure.
+func softmaxRowsInto(x, out *tensor.Tensor) {
 	rows, cols := x.Dim(0), x.Dim(1)
-	out := tensor.New(rows, cols)
-	kernel := func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			row := x.Data[r*cols : (r+1)*cols]
-			orow := out.Data[r*cols : (r+1)*cols]
-			maxv := row[0]
-			for _, v := range row[1:] {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			sum := 0.0
-			for i, v := range row {
-				e := math.Exp(v - maxv)
-				orow[i] = e
-				sum += e
-			}
-			for i := range orow {
-				orow[i] /= sum
-			}
-		}
-	}
 	// math.Exp costs ~10× a mul-add, so the parallel bar is lower than for
 	// matmuls.
 	if rows*cols < parFlops/8 {
-		kernel(0, rows)
+		softmaxRowsRange(x, out, cols, 0, rows)
 	} else {
-		par.Run(rows, kernel)
+		par.Run(rows, func(lo, hi int) { softmaxRowsRange(x, out, cols, lo, hi) })
 	}
-	return out
+}
+
+func softmaxRowsRange(x, out *tensor.Tensor, cols, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		row := x.Data[r*cols : (r+1)*cols]
+		orow := out.Data[r*cols : (r+1)*cols]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for i, v := range row {
+			e := math.Exp(v - maxv)
+			orow[i] = e
+			sum += e
+		}
+		for i := range orow {
+			orow[i] /= sum
+		}
+	}
 }

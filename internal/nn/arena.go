@@ -1,0 +1,104 @@
+package nn
+
+import "repro/internal/tensor"
+
+// InferArena is a record/replay bump allocator for the grad-free forward
+// path. A model's inference pass requests every intermediate tensor
+// through Get in a deterministic order; the arena hands out the same
+// preallocated buffers on every subsequent pass over the same shapes, so
+// a warmed-up forward performs zero heap allocations.
+//
+// The arena is shape-checked per slot: if a request's shape differs from
+// what the slot holds (the model or batch size changed), the slot is
+// reallocated in place and steady state resumes. Callers that serve
+// multiple batch sizes should keep one arena per size instead of
+// thrashing a single arena's slots.
+//
+// Contract:
+//   - Call Reset once at the start of each forward pass.
+//   - Buffers are handed out uncleared; layers must fully overwrite them
+//     (all InferForward implementations do).
+//   - Tensors returned by Get — including a model's output — are owned by
+//     the arena and are only valid until the next Reset.
+//   - An arena (and the layers it feeds, which keep per-call kernel state)
+//     must not be used from two goroutines at once.
+type InferArena struct {
+	slots []*tensor.Tensor
+	next  int
+}
+
+// NewInferArena returns an empty arena; slots are created on first use.
+func NewInferArena() *InferArena { return &InferArena{} }
+
+// Reset rewinds the arena so the next Get replays slot 0. Buffers are
+// retained.
+func (a *InferArena) Reset() { a.next = 0 }
+
+// Slots reports how many distinct buffers the arena holds — a proxy for
+// its memory footprint, exposed for tests and diagnostics.
+func (a *InferArena) Slots() int { return len(a.slots) }
+
+// Get returns the next tensor slot with the given shape, allocating or
+// reallocating only when the slot is missing or shaped differently. On
+// the steady-state path (warm slot, matching shape) it performs no heap
+// allocation: the variadic shape stays on the caller's stack.
+func (a *InferArena) Get(shape ...int) *tensor.Tensor {
+	if a.next < len(a.slots) {
+		t := a.slots[a.next]
+		if t != nil && slotShaped(t, shape) {
+			a.next++
+			return t
+		}
+	}
+	t := tensor.New(append([]int(nil), shape...)...)
+	if a.next < len(a.slots) {
+		a.slots[a.next] = t
+	} else {
+		a.slots = append(a.slots, t)
+	}
+	a.next++
+	return t
+}
+
+// GetLike returns the next slot shaped like t, without allocating a
+// shape slice.
+func (a *InferArena) GetLike(t *tensor.Tensor) *tensor.Tensor {
+	var sh [4]int
+	n := t.Dims()
+	for i := 0; i < n; i++ {
+		sh[i] = t.Dim(i)
+	}
+	return a.Get(sh[:n]...)
+}
+
+func slotShaped(t *tensor.Tensor, shape []int) bool {
+	if t.Dims() != len(shape) {
+		return false
+	}
+	for i, d := range shape {
+		if t.Dim(i) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// InferLayer is implemented by layers with a dedicated grad-free forward
+// that draws every intermediate from an InferArena. InferForward must
+// produce output bitwise identical to Forward(x, false) — same kernels,
+// same floating-point order — while writing no training caches, so a
+// model can serve inference without perturbing a concurrent-free
+// training setup and without allocating in steady state.
+type InferLayer interface {
+	InferForward(a *InferArena, x *tensor.Tensor) *tensor.Tensor
+}
+
+// Infer runs one layer's grad-free forward, falling back to
+// Forward(x, false) for layers without an arena path. The fallback keeps
+// correctness for exotic layers at the cost of their usual allocations.
+func Infer(l Layer, a *InferArena, x *tensor.Tensor) *tensor.Tensor {
+	if il, ok := l.(InferLayer); ok {
+		return il.InferForward(a, x)
+	}
+	return l.Forward(x, false)
+}

@@ -29,9 +29,13 @@ const convBatchGrain = 4
 // Fig. 6) the effective kernel is W = g · V/‖V‖, where the norm is taken
 // per output channel; g and V are the trainable parameters.
 //
-// Forward parallelizes over batch × out-channel units and the backward
-// pass over batch shards whose gradients are reduced in shard-index
-// order, so results are bitwise identical for any worker count.
+// Forward lowers the convolution to one GEMM (im2col): the input is
+// unrolled into a column matrix with one row per (in-channel, tap) pair
+// and the packed tensor kernel does the arithmetic. Every output sample
+// is a single bias-seeded FMA chain ascending over those pairs, so the
+// result is row-independent — bitwise identical for any batch size and
+// any worker count. The backward pass shards over batches and reduces
+// in shard-index order for the same guarantee.
 type CausalConv1D struct {
 	InChannels  int
 	OutChannels int
@@ -51,6 +55,17 @@ type CausalConv1D struct {
 	wEffBuf *tensor.Tensor // reused storage for wEff under weight norm
 	vNorms  []float64      // per-output-channel ‖V‖ from the last forward
 	padLeft int
+
+	// im2col scratch for the training forward; the arena path draws the
+	// same three buffers from its InferArena instead (see infer.go).
+	acol *tensor.Tensor // [in·k, b·t] unrolled input columns
+	wtr  *tensor.Tensor // [in·k, out] transposed effective kernel
+	ycol *tensor.Tensor // [b·t, out] GEMM output, bias-seeded
+
+	// Operands for the parallel unroll/scatter stages, read through
+	// closures bound once so repeated passes allocate nothing.
+	gemmX, gemmAcol, gemmYcol, gemmY *tensor.Tensor
+	colRun, outRun                   func(lo, hi int)
 
 	// Backward scratch, reused across steps.
 	dwScratch *tensor.Tensor // [out, in, k] effective-kernel gradient
@@ -142,42 +157,103 @@ func (c *CausalConv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	w := c.effectiveKernel()
 	c.wEff = w
 	b, t := x.Dim(0), x.Dim(2)
-	in, out, k, d := c.InChannels, c.OutChannels, c.KernelSize, c.Dilation
+	in, out, k := c.InChannels, c.OutChannels, c.KernelSize
+	kk, m := in*k, b*t
+	if c.acol == nil || c.acol.Dim(0) != kk || c.acol.Dim(1) != m {
+		c.acol = tensor.New(kk, m)
+		c.ycol = tensor.New(m, out)
+	}
+	if c.wtr == nil {
+		c.wtr = tensor.New(kk, out)
+	}
 	y := tensor.New(b, out, t)
-	// Each (batch, out-channel) unit owns one disjoint output row.
-	units := b * out
-	run := func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			bi, co := u/out, u%out
-			xb := x.Data[bi*in*t : (bi+1)*in*t]
-			yrow := y.Data[(bi*out+co)*t : (bi*out+co+1)*t]
-			bias := c.B.Value.Data[co]
-			for i := range yrow {
-				yrow[i] = bias
-			}
-			for ci := 0; ci < in; ci++ {
-				xrow := xb[ci*t : (ci+1)*t]
-				wrow := w.Data[(co*in+ci)*k : (co*in+ci)*k+k]
-				for kk := 0; kk < k; kk++ {
-					wv := wrow[kk]
-					if wv == 0 {
-						continue
-					}
-					// Tap offset from the present: (K−1−kk)·d samples back.
-					off := (k - 1 - kk) * d
-					for tt := off; tt < t; tt++ {
-						yrow[tt] += wv * xrow[tt-off]
-					}
-				}
-			}
+	c.convGemm(x, w, c.acol, c.wtr, c.ycol, y)
+	return y
+}
+
+// convGemm is the shared forward kernel of the training and
+// arena-inference paths, so both produce bitwise identical values. The
+// causal convolution is lowered to one GEMM: x is unrolled into acol
+// (one row per (in-channel, tap) pair, left-padded with zeros), the
+// effective kernel is transposed into wt, ycol rows are seeded with the
+// bias, and the packed kernel accumulates ycol += acolᵀ·wt — each output
+// sample one FMA chain ascending over (in-channel, tap) — before the
+// result is scattered back to the [batch, channel, time] layout.
+func (c *CausalConv1D) convGemm(x, w, acol, wt, ycol, y *tensor.Tensor) {
+	in, out, k := c.InChannels, c.OutChannels, c.KernelSize
+	b, t := x.Dim(0), x.Dim(2)
+	kk, m := in*k, b*t
+
+	if c.colRun == nil {
+		c.colRun = func(lo, hi int) { c.unrollCols(c.gemmX, c.gemmAcol, lo, hi) }
+		c.outRun = func(lo, hi int) { c.scatterRows(c.gemmYcol, c.gemmY, lo, hi) }
+	}
+	c.gemmX, c.gemmAcol, c.gemmYcol, c.gemmY = x, acol, ycol, y
+	if kk*m < parFlops {
+		c.unrollCols(x, acol, 0, kk)
+	} else {
+		par.Run(kk, c.colRun)
+	}
+
+	for p := 0; p < kk; p++ {
+		wrow := wt.Data[p*out : (p+1)*out]
+		for co := 0; co < out; co++ {
+			wrow[co] = w.Data[co*kk+p]
 		}
 	}
-	if units*in*k*t < parFlops {
-		run(0, units)
-	} else {
-		par.Run(units, run)
+	bias := c.B.Value.Data[:out]
+	for i := 0; i < m; i++ {
+		copy(ycol.Data[i*out:(i+1)*out], bias)
 	}
-	return y
+	acol.TMatMulAcc(wt, ycol)
+
+	units := b * out
+	if m*out < parFlops {
+		c.scatterRows(ycol, y, 0, units)
+	} else {
+		par.Run(units, c.outRun)
+	}
+}
+
+// unrollCols fills acol rows [lo, hi): row p = (ci·k + kk) holds channel
+// ci of the input shifted right by the tap offset (K−1−kk)·d, with the
+// causal left padding written as zeros. Rows are disjoint, so the stage
+// parallelizes without any cross-worker reduction.
+func (c *CausalConv1D) unrollCols(x, acol *tensor.Tensor, lo, hi int) {
+	in, k, d := c.InChannels, c.KernelSize, c.Dilation
+	b, t := x.Dim(0), x.Dim(2)
+	for p := lo; p < hi; p++ {
+		ci, kk := p/k, p%k
+		off := (k - 1 - kk) * d
+		if off > t {
+			off = t
+		}
+		dst := acol.Data[p*b*t : (p+1)*b*t]
+		for bi := 0; bi < b; bi++ {
+			seg := dst[bi*t : (bi+1)*t]
+			for i := 0; i < off; i++ {
+				seg[i] = 0
+			}
+			xrow := x.Data[(bi*in+ci)*t : (bi*in+ci)*t+t]
+			copy(seg[off:], xrow[:t-off])
+		}
+	}
+}
+
+// scatterRows copies GEMM output rows back into the [batch, channel,
+// time] layout for (batch, out-channel) units [lo, hi). Each unit owns
+// one disjoint output row of y.
+func (c *CausalConv1D) scatterRows(ycol, y *tensor.Tensor, lo, hi int) {
+	out := c.OutChannels
+	t := y.Dim(2)
+	for u := lo; u < hi; u++ {
+		bi, co := u/out, u%out
+		yrow := y.Data[u*t : (u+1)*t]
+		base := bi*t*out + co
+		for tt := 0; tt < t; tt++ {
+			yrow[tt] = ycol.Data[base+tt*out]
+		}
+	}
 }
 
 // Backward implements Layer.

@@ -37,6 +37,10 @@ type GRU struct {
 	B  *Param // [3H]
 
 	s gruScratch
+
+	// Cached (r,z)/candidate views of Wh.Value for the arena-inference
+	// path, so InferForward allocates no tensor headers (see infer.go).
+	inferWRZ, inferWC *tensor.Tensor
 }
 
 // gruScratch holds forward caches and backward workspaces, t-major like

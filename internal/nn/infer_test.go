@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// inferStacks builds one representative model per architecture family,
+// exercising every layer with an arena path: the TCN residual pipeline
+// with attention head, plain LSTM/GRU (both output modes), and a
+// CNN-LSTM hybrid.
+func inferStacks(features, timeSteps int) map[string]Layer {
+	r := tensor.NewRNG(41)
+	return map[string]Layer{
+		"rptcn-style": NewSequential(
+			NewTCN(r, TCNConfig{
+				InChannels: features,
+				Channels:   []int{12, 8},
+				KernelSize: 3,
+				Dropout:    0.2,
+				WeightNorm: true,
+			}),
+			&LastStep{},
+			NewDense(r, 8, 8),
+			NewFeatureAttention(r, 8),
+			NewDense(r, 8, 3),
+		),
+		"lstm": NewSequential(
+			NewLSTM(r, features, 10, false),
+			NewDense(r, 10, 3),
+		),
+		"lstm-seq": NewSequential(
+			NewLSTM(r, features, 6, true),
+			&LastStep{},
+			NewDense(r, 6, 3),
+		),
+		"gru": NewSequential(
+			NewGRU(r, features, 9, false),
+			NewDense(r, 9, 3),
+		),
+		"gru-seq": NewSequential(
+			NewGRU(r, features, 5, true),
+			&LastStep{},
+			NewDense(r, 5, 3),
+		),
+		"cnn-lstm": NewSequential(
+			NewCausalConv1D(r, features, 8, 3, 1, false),
+			&ReLU{},
+			NewSpatialDropout1D(r, 0.2),
+			NewLSTM(r, 8, 7, false),
+			NewDense(r, 7, 3),
+		),
+		"dropout-tanh-sigmoid": NewSequential(
+			NewLSTM(r, features, 6, false),
+			NewDropout(r, 0.3),
+			NewDense(r, 6, 6),
+			&Tanh{},
+			NewDense(r, 6, 6),
+			&Sigmoid{},
+			NewDense(r, 6, 3),
+		),
+		"flatten": NewSequential(
+			NewCausalConv1D(r, features, 4, 2, 1, true),
+			&Flatten{},
+			NewDense(r, 4*timeSteps, 3),
+		),
+	}
+}
+
+func requireBitwiseTensors(t *testing.T, got, want *tensor.Tensor, what string) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d, want %d", what, got.Size(), want.Size())
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: elem %d = %g, want %g (bits %x vs %x)", what, i,
+				got.Data[i], want.Data[i],
+				math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// TestInferForwardMatchesForward demands bitwise identity between the
+// arena inference path and the training-path Forward in eval mode, for
+// every architecture family and several batch sizes, including repeated
+// (replayed) arena passes.
+func TestInferForwardMatchesForward(t *testing.T) {
+	const features, timeSteps = 4, 12
+	for name, model := range inferStacks(features, timeSteps) {
+		t.Run(name, func(t *testing.T) {
+			arena := NewInferArena()
+			for _, batch := range []int{1, 3, 7} {
+				r := tensor.NewRNG(uint64(100 + batch))
+				x := tensor.RandN(r, batch, features, timeSteps)
+				want := model.Forward(x, false)
+				for pass := 0; pass < 3; pass++ {
+					arena.Reset()
+					got := Infer(model, arena, x)
+					requireBitwiseTensors(t, got, want, name)
+				}
+			}
+		})
+	}
+}
+
+// TestInferWorkerCountInvariance reruns arena inference under 1, 2 and 4
+// workers and demands bitwise identical outputs.
+func TestInferWorkerCountInvariance(t *testing.T) {
+	const features, timeSteps, batch = 4, 12, 5
+	for name, model := range inferStacks(features, timeSteps) {
+		t.Run(name, func(t *testing.T) {
+			r := tensor.NewRNG(7)
+			x := tensor.RandN(r, batch, features, timeSteps)
+			run := func(workers int) *tensor.Tensor {
+				prev := par.SetWorkers(workers)
+				defer par.SetWorkers(prev)
+				arena := NewInferArena()
+				out := Infer(model, arena, x)
+				return out.Clone()
+			}
+			base := run(1)
+			for _, w := range []int{2, 4} {
+				requireBitwiseTensors(t, run(w), base, name)
+			}
+		})
+	}
+}
+
+// TestInferDoesNotDisturbTraining interleaves an arena inference between
+// a training forward and its backward pass and checks the gradients are
+// bitwise identical to an undisturbed fit step: InferForward must not
+// touch the caches Backward reads.
+func TestInferDoesNotDisturbTraining(t *testing.T) {
+	const features, timeSteps, batch = 4, 12, 3
+	build := func() Layer {
+		r := tensor.NewRNG(21)
+		return NewSequential(
+			NewCausalConv1D(r, features, 6, 3, 1, true),
+			&ReLU{},
+			NewLSTM(r, 6, 5, false),
+			NewDense(r, 5, 6),
+			NewFeatureAttention(r, 6),
+			NewDense(r, 6, 2),
+		)
+	}
+	r := tensor.NewRNG(22)
+	x := tensor.RandN(r, batch, features, timeSteps)
+	xInfer := tensor.RandN(r, 2, features, timeSteps)
+	grad := tensor.RandN(r, batch, 2)
+
+	gradsOf := func(interleave bool) []*tensor.Tensor {
+		m := build()
+		m.Forward(x, true)
+		if interleave {
+			arena := NewInferArena()
+			Infer(m, arena, xInfer)
+		}
+		m.Backward(grad.Clone())
+		var gs []*tensor.Tensor
+		for _, p := range m.Params() {
+			gs = append(gs, p.Grad.Clone())
+		}
+		return gs
+	}
+	clean := gradsOf(false)
+	mixed := gradsOf(true)
+	for i := range clean {
+		requireBitwiseTensors(t, mixed[i], clean[i], "param grad")
+	}
+}
+
+// TestInferArenaZeroAllocSteadyState proves a warmed-up arena forward
+// performs no heap allocations, across all architecture families and at
+// a batch size large enough to engage the parallel conv path.
+func TestInferArenaZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation defeats escape analysis; allocation counts are meaningless")
+	}
+	const features, timeSteps, batch = 8, 32, 32
+	for name, model := range inferStacks(features, timeSteps) {
+		t.Run(name, func(t *testing.T) {
+			r := tensor.NewRNG(5)
+			x := tensor.RandN(r, batch, features, timeSteps)
+			arena := NewInferArena()
+			for i := 0; i < 3; i++ { // warm arena slots and kernel pools
+				arena.Reset()
+				Infer(model, arena, x)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				arena.Reset()
+				Infer(model, arena, x)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state arena inference allocates %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestInferArenaShapeChangeReallocates checks an arena survives a batch
+// size change by reallocating mismatched slots, and still returns
+// correct values afterwards.
+func TestInferArenaShapeChangeReallocates(t *testing.T) {
+	const features, timeSteps = 4, 12
+	r := tensor.NewRNG(31)
+	model := NewSequential(NewLSTM(r, features, 6, false), NewDense(r, 6, 2))
+	arena := NewInferArena()
+	for _, batch := range []int{4, 1, 4} {
+		x := tensor.RandN(r, batch, features, timeSteps)
+		want := model.Forward(x, false)
+		arena.Reset()
+		got := Infer(model, arena, x)
+		requireBitwiseTensors(t, got, want, "after shape change")
+	}
+}
+
+// BenchmarkArenaInference measures the steady-state arena forward of the
+// TCN+attention stack at serving batch size; allocs/op must be 0.
+func BenchmarkArenaInference(b *testing.B) {
+	const features, timeSteps, batch = 8, 32, 32
+	model := inferStacks(features, timeSteps)["rptcn-style"]
+	r := tensor.NewRNG(5)
+	x := tensor.RandN(r, batch, features, timeSteps)
+	arena := NewInferArena()
+	arena.Reset()
+	Infer(model, arena, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		Infer(model, arena, x)
+	}
+}
+
+// BenchmarkTrainingPathForward is the allocating baseline for
+// BenchmarkArenaInference: the same model and shape through Forward.
+func BenchmarkTrainingPathForward(b *testing.B) {
+	const features, timeSteps, batch = 8, 32, 32
+	model := inferStacks(features, timeSteps)["rptcn-style"]
+	r := tensor.NewRNG(5)
+	x := tensor.RandN(r, batch, features, timeSteps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Forward(x, false)
+	}
+}

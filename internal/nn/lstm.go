@@ -107,21 +107,24 @@ func NewLSTM(r *tensor.RNG, inFeatures, hidden int, returnSequences bool) *LSTM 
 	return l
 }
 
-// gatherTimeMajor fills dst [T*B, F] (time-major) from x [B, F, T].
+// gatherTimeMajor fills dst [T*B, F] (time-major) from x [B, F, T]. The
+// range body lives in a named function so the small-size inline path
+// allocates no closure.
 func gatherTimeMajor(dst, x *tensor.Tensor, b, f, t int) {
-	fill := func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			tt, bi := r/b, r%b
-			row := dst.Data[r*f : (r+1)*f]
-			for fi := 0; fi < f; fi++ {
-				row[fi] = x.Data[(bi*f+fi)*t+tt]
-			}
-		}
-	}
 	if t*b*f < parFlops {
-		fill(0, t*b)
-	} else {
-		par.Run(t*b, fill)
+		gatherTimeMajorRange(dst, x, b, f, t, 0, t*b)
+		return
+	}
+	par.Run(t*b, func(lo, hi int) { gatherTimeMajorRange(dst, x, b, f, t, lo, hi) })
+}
+
+func gatherTimeMajorRange(dst, x *tensor.Tensor, b, f, t, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		tt, bi := r/b, r%b
+		row := dst.Data[r*f : (r+1)*f]
+		for fi := 0; fi < f; fi++ {
+			row[fi] = x.Data[(bi*f+fi)*t+tt]
+		}
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nn
+
+const raceEnabled = false

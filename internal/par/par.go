@@ -27,19 +27,42 @@ import (
 const defaultChunksPerRun = 32
 
 // task is one Run invocation: a range, a grain, and an atomically claimed
-// chunk cursor shared by every goroutine that helps execute it.
+// chunk cursor shared by every goroutine that helps execute it. Tasks are
+// pooled and reference-counted so steady-state dispatch allocates nothing:
+// the submitter holds one reference, each successful hand-off to a helper
+// adds one, and the last goroutine to release returns the task to the pool.
 type task struct {
-	fn     func(chunk, lo, hi int)
-	n      int
-	grain  int
-	chunks int
+	fn      func(chunk, lo, hi int)
+	fnRange func(lo, hi int) // used by RunGrain; avoids a wrapper closure
+	n       int
+	grain   int
+	chunks  int
 
-	next    atomic.Int64 // next chunk index to claim
-	pending atomic.Int64 // chunks not yet completed
-	done    chan struct{}
+	next    atomic.Int64  // next chunk index to claim
+	pending atomic.Int64  // chunks not yet completed
+	refs    atomic.Int64  // goroutines still holding this task
+	done    chan struct{} // buffered(1) so the task is reusable after receive
 
-	panicOnce sync.Once
-	panicVal  any
+	panicked atomic.Bool
+	panicVal any
+}
+
+var taskPool = sync.Pool{New: func() any {
+	return &task{done: make(chan struct{}, 1)}
+}}
+
+func getTask() *task { return taskPool.Get().(*task) }
+
+// release drops one reference; the last holder clears the task and returns
+// it to the pool. Callers must not touch the task after releasing.
+func (t *task) release() {
+	if t.refs.Add(-1) == 0 {
+		t.fn, t.fnRange = nil, nil
+		t.panicVal = nil
+		t.panicked.Store(false)
+		t.next.Store(0)
+		taskPool.Put(t)
+	}
 }
 
 // process claims and executes chunks until none remain. It is called by
@@ -57,10 +80,14 @@ func (t *task) process() {
 func (t *task) runChunk(c int) {
 	defer func() {
 		if r := recover(); r != nil {
-			t.panicOnce.Do(func() { t.panicVal = r })
+			// First panic wins; panicVal is published to the submitter by
+			// the pending-counter release chain followed by the done send.
+			if t.panicked.CompareAndSwap(false, true) {
+				t.panicVal = r
+			}
 		}
 		if t.pending.Add(-1) == 0 {
-			close(t.done)
+			t.done <- struct{}{}
 		}
 	}()
 	lo := c * t.grain
@@ -68,7 +95,11 @@ func (t *task) runChunk(c int) {
 	if hi > t.n {
 		hi = t.n
 	}
-	t.fn(c, lo, hi)
+	if t.fnRange != nil {
+		t.fnRange(lo, hi)
+	} else {
+		t.fn(c, lo, hi)
+	}
 }
 
 // Pool is a persistent set of worker goroutines executing tasks. The
@@ -97,6 +128,7 @@ func NewPool(workers int) *Pool {
 			defer p.wg.Done()
 			for t := range p.work {
 				t.process()
+				t.release()
 			}
 		}()
 	}
@@ -147,7 +179,10 @@ func (p *Pool) RunGrain(n, grain int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	p.RunChunks(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+	t := getTask()
+	t.fnRange = fn
+	t.n, t.grain, t.chunks = n, grain, NumChunks(n, grain)
+	p.dispatch(t)
 }
 
 // RunChunks splits [0,n) into NumChunks(n, grain) chunks of size grain
@@ -168,23 +203,38 @@ func (p *Pool) RunChunks(n, grain int, fn func(chunk, lo, hi int)) {
 		runInline(n, grain, chunks, fn)
 		return
 	}
-	t := &task{fn: fn, n: n, grain: grain, chunks: chunks, done: make(chan struct{})}
-	t.pending.Store(int64(chunks))
+	t := getTask()
+	t.fn = fn
+	t.n, t.grain, t.chunks = n, grain, chunks
+	p.dispatch(t)
+}
+
+// dispatch runs a prepared task on the pool: it wakes helpers, has the
+// submitter participate, waits for completion, and recycles the task.
+func (p *Pool) dispatch(t *task) {
+	t.pending.Store(int64(t.chunks))
+	t.refs.Store(1)
 	// Wake up to workers-1 helpers; non-blocking so a busy pool (or a
 	// nested Run from inside a worker) degrades to the submitter doing
-	// more of the work instead of deadlocking.
+	// more of the work instead of deadlocking. Each successful hand-off
+	// takes a reference BEFORE the send so a fast helper can never drop
+	// the count to zero while the submitter still holds the task.
 wake:
-	for i := 0; i < p.workers-1 && i < chunks-1; i++ {
+	for i := 0; i < p.workers-1 && i < t.chunks-1; i++ {
+		t.refs.Add(1)
 		select {
 		case p.work <- t:
 		default:
+			t.refs.Add(-1)
 			break wake // channel full; helpers are busy
 		}
 	}
 	t.process()
 	<-t.done
-	if t.panicVal != nil {
-		panic(fmt.Sprintf("par: worker panic: %v", t.panicVal))
+	pv := t.panicVal
+	t.release()
+	if pv != nil {
+		panic(fmt.Sprintf("par: worker panic: %v", pv))
 	}
 }
 

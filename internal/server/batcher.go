@@ -1,0 +1,234 @@
+package server
+
+import (
+	"errors"
+	"log/slog"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Server-side request micro-batching: concurrent forecast requests are
+// queued and fused into one batched grad-free arena forward, then the
+// per-request rows are fanned back out. Because every forward kernel is
+// row-independent (TestGemmRowIndependence, the core batching suite),
+// each request's answer is bitwise identical to running it alone — the
+// fusion buys GEMM efficiency without changing a single output.
+//
+// The latency contract: the first request of a batch waits at most
+// MaxDelay for company; under load the batch fills to MaxBatch and
+// leaves immediately, so added tail latency is bounded by MaxDelay and
+// vanishes exactly when batching pays for itself.
+
+// ErrServerClosed is returned to requests caught mid-flight by Close.
+var ErrServerClosed = errors.New("server: shutting down")
+
+// BatchConfig tunes request micro-batching. The zero value gets the
+// defaults — batching is always on (MaxBatch 1 disables fusion while
+// keeping the single serialized inference pipeline).
+type BatchConfig struct {
+	// MaxBatch caps how many requests fuse into one forward (default 32,
+	// matching the default MaxInFlight — one full batch per admission
+	// window).
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// more to arrive (default 2ms).
+	MaxDelay time.Duration
+}
+
+func (c *BatchConfig) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+}
+
+// WithBatching overrides the micro-batching parameters.
+func WithBatching(cfg BatchConfig) Option {
+	return func(s *Server) { s.batchCfg = cfg }
+}
+
+// batchResp is one request's share of a batched forward.
+type batchResp struct {
+	forecast []float64
+	err      error
+	panicked bool
+}
+
+// batchReq is one enqueued request. done is buffered so the collector
+// never blocks on a client that stopped waiting (timeout, disconnect).
+type batchReq struct {
+	in       *core.PreparedInput
+	done     chan batchResp
+	enqueued time.Time
+}
+
+// batcher owns the collector goroutine that fuses queued requests.
+type batcher struct {
+	predictor *core.Predictor
+	cfg       BatchConfig
+	log       *slog.Logger
+
+	queue   chan *batchReq
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+
+	depth  *obs.Gauge     // requests enqueued, not yet picked into a batch
+	sizes  *obs.Histogram // realized batch sizes
+	delay  *obs.Histogram // per-request enqueue→batch-start wait
+	panics *obs.Counter   // shared with the server's recovered-panic counter
+}
+
+func newBatcher(p *core.Predictor, cfg BatchConfig, queueCap int, reg *obs.Registry,
+	log *slog.Logger, panics *obs.Counter) *batcher {
+	cfg.fillDefaults()
+	b := &batcher{
+		predictor: p,
+		cfg:       cfg,
+		log:       log,
+		queue:     make(chan *batchReq, queueCap),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+		depth: reg.Gauge("rptcn_batch_queue_depth",
+			"Forecast requests enqueued for micro-batching, not yet running."),
+		sizes: reg.Histogram("rptcn_batch_size_requests",
+			"Requests fused per micro-batched inference.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		delay: reg.Histogram("rptcn_batch_delay_seconds",
+			"Per-request wait between enqueue and batch start.", nil),
+		panics: panics,
+	}
+	go b.run()
+	return b
+}
+
+// submit enqueues one prepared request and blocks until its share of a
+// batched forward comes back (or the batcher shuts down).
+func (b *batcher) submit(in *core.PreparedInput) batchResp {
+	r := &batchReq{in: in, done: make(chan batchResp, 1), enqueued: time.Now()}
+	b.depth.Inc()
+	select {
+	case b.queue <- r:
+	case <-b.stopped:
+		b.depth.Dec()
+		return batchResp{err: ErrServerClosed}
+	}
+	select {
+	case resp := <-r.done:
+		return resp
+	case <-b.stopped:
+		// The collector may have answered in the same instant it shut
+		// down; prefer a real answer over the shutdown error.
+		select {
+		case resp := <-r.done:
+			return resp
+		default:
+			return batchResp{err: ErrServerClosed}
+		}
+	}
+}
+
+// run is the collector loop: block for the first request, then gather
+// more until the batch is full or MaxDelay elapses, and run the fused
+// forward. One loop iteration per batch.
+func (b *batcher) run() {
+	defer close(b.stopped)
+	batch := make([]*batchReq, 0, b.cfg.MaxBatch)
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch = append(batch[:0], first)
+		timer := time.NewTimer(b.cfg.MaxDelay)
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.queue:
+				batch = append(batch, r)
+				continue
+			case <-timer.C:
+			case <-b.stop:
+			}
+			break
+		}
+		timer.Stop()
+		b.runBatch(batch)
+		select {
+		case <-b.stop:
+			b.drain()
+			return
+		default:
+		}
+	}
+}
+
+// drain answers every still-queued request with the shutdown error so no
+// submitter blocks forever (must only run on the collector goroutine,
+// after stop).
+func (b *batcher) drain() {
+	for {
+		select {
+		case r := <-b.queue:
+			b.depth.Dec()
+			r.done <- batchResp{err: ErrServerClosed}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch executes one fused forward and fans the rows back out. A
+// panic inside the model poisons the whole batch: every member reports
+// panicked (and degrades at its own call site), but the process-wide
+// panic counter ticks once — one fault, one event.
+func (b *batcher) runBatch(reqs []*batchReq) {
+	start := time.Now()
+	b.depth.Add(-float64(len(reqs)))
+	b.sizes.Observe(float64(len(reqs)))
+	inputs := make([]*core.PreparedInput, len(reqs))
+	for i, r := range reqs {
+		inputs[i] = r.in
+		b.delay.Observe(start.Sub(r.enqueued).Seconds())
+	}
+	var (
+		out      [][]float64
+		err      error
+		panicked bool
+	)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				b.panics.Inc()
+				b.log.Error("panic recovered in batched inference",
+					"batch", len(reqs), "panic", p, "stack", string(debug.Stack()))
+			}
+		}()
+		out, err = b.predictor.ForecastBatch(inputs)
+	}()
+	for i, r := range reqs {
+		resp := batchResp{err: err, panicked: panicked}
+		if !panicked && err == nil {
+			resp.forecast = out[i]
+		}
+		r.done <- resp
+	}
+}
+
+// close stops the collector, answers anything still queued with
+// ErrServerClosed, and waits for the goroutine to exit. Idempotent.
+func (b *batcher) close() {
+	b.once.Do(func() {
+		close(b.stop)
+		<-b.stopped
+	})
+}

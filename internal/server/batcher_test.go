@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// newTestBatcher builds a batcher against its own registry for direct
+// (non-HTTP) collector tests.
+func newTestBatcher(p *core.Predictor, cfg BatchConfig) (*batcher, *obs.Registry) {
+	reg := obs.NewRegistry()
+	panics := reg.Counter("rptcn_panics_recovered_total", "")
+	return newBatcher(p, cfg, 64, reg, obs.NopLogger(), panics), reg
+}
+
+// TestBatcherCoalescesConcurrentRequests submits 8 requests while the
+// collector waits out a generous MaxDelay, and demands they fuse into a
+// single batch whose per-request answers are bitwise identical to the
+// unbatched serving path.
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	p, e := fitted(t)
+	tail := tailOf(e, 64)
+	want, err := p.ForecastFrom(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, reg := newTestBatcher(p, BatchConfig{MaxBatch: 8, MaxDelay: 500 * time.Millisecond})
+	defer b.close()
+
+	const n = 8
+	resps := make([]batchResp, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in, err := p.PrepareInput(tail)
+			if err != nil {
+				resps[i] = batchResp{err: err}
+				return
+			}
+			resps[i] = b.submit(in)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range resps {
+		if r.err != nil || r.panicked {
+			t.Fatalf("request %d failed: err=%v panicked=%v", i, r.err, r.panicked)
+		}
+		for j := range want {
+			if r.forecast[j] != want[j] {
+				t.Fatalf("request %d drifted from solo forecast: %v vs %v", i, r.forecast, want)
+			}
+		}
+	}
+	sizes := reg.Histogram("rptcn_batch_size_requests", "", nil)
+	if sizes.Count() != 1 || sizes.Sum() != n {
+		t.Fatalf("expected one fused batch of %d, got %d batches totalling %g requests",
+			n, sizes.Count(), sizes.Sum())
+	}
+	if d := reg.Gauge("rptcn_batch_queue_depth", "").Value(); d != 0 {
+		t.Fatalf("queue depth = %g after all requests answered, want 0", d)
+	}
+	if c := reg.Histogram("rptcn_batch_delay_seconds", "", nil).Count(); c != n {
+		t.Fatalf("batching delay observed for %d requests, want %d", c, n)
+	}
+}
+
+// TestBatcherPanicPoisonsBatchOnce injects one model panic under a fused
+// batch: every member must report it (each request degrades at its own
+// call site), but the panic counter ticks exactly once.
+func TestBatcherPanicPoisonsBatchOnce(t *testing.T) {
+	p, e := fitted(t)
+	tail := tailOf(e, 64)
+	b, reg := newTestBatcher(p, BatchConfig{MaxBatch: 4, MaxDelay: 500 * time.Millisecond})
+	defer b.close()
+
+	inj := fault.NewInjector(fault.Rule{Scope: "model.forward", Kind: fault.KindPanic, Times: 1})
+	defer fault.Activate(inj)()
+
+	const n = 4
+	resps := make([]batchResp, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in, err := p.PrepareInput(tail)
+			if err != nil {
+				resps[i] = batchResp{err: err}
+				return
+			}
+			resps[i] = b.submit(in)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range resps {
+		if r.err != nil {
+			t.Fatalf("request %d: unexpected error %v", i, r.err)
+		}
+		if !r.panicked {
+			t.Fatalf("request %d not marked panicked after batch-wide model panic", i)
+		}
+	}
+	if got := reg.Counter("rptcn_panics_recovered_total", "").Value(); got != 1 {
+		t.Fatalf("panics recovered = %g, want exactly 1 for one fused batch", got)
+	}
+	if inj.Fired("model.forward") != 1 {
+		t.Fatal("injected model panic never fired")
+	}
+}
+
+// TestBatcherCloseAnswersInFlight: close is idempotent and a submit after
+// close gets ErrServerClosed instead of blocking forever.
+func TestBatcherCloseAnswersInFlight(t *testing.T) {
+	p, e := fitted(t)
+	in, err := p.PrepareInput(tailOf(e, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := newTestBatcher(p, BatchConfig{})
+	b.close()
+	b.close() // idempotent
+	if resp := b.submit(in); !errors.Is(resp.err, ErrServerClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrServerClosed", resp.err)
+	}
+	srv := New(p, WithRegistry(obs.NewRegistry()), WithLogger(obs.NopLogger()))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentForecastsBitwiseEqualUnderBatching drives the full HTTP
+// path with many concurrent identical requests and demands every response
+// carry the exact same forecast as a solo warm-up request — micro-batching
+// must be invisible in the payload.
+func TestConcurrentForecastsBitwiseEqualUnderBatching(t *testing.T) {
+	p, e := fitted(t)
+	ts := httptest.NewServer(New(p, WithRegistry(obs.NewRegistry()), WithLogger(obs.NopLogger())))
+	defer ts.Close()
+	tail := tailOf(e, 64)
+
+	solo := decodeForecast(t, forecastReq(t, ts.URL, ForecastRequest{Indicators: tail}))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := forecastReq(t, ts.URL, ForecastRequest{Indicators: tail})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var out ForecastResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if out.Degraded {
+				errs <- errors.New("healthy request served degraded")
+				return
+			}
+			for i := range solo.Forecast {
+				if out.Forecast[i] != solo.Forecast[i] {
+					errs <- fmt.Errorf("batched forecast drifted: %v vs %v", out.Forecast, solo.Forecast)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRaggedIndicatorsRejected400: indicator rows of unequal length are a
+// malformed payload — rejected up front as a client error, never reaching
+// the model path (no degradation, no breaker charge).
+func TestRaggedIndicatorsRejected400(t *testing.T) {
+	p, e := fitted(t)
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(p, WithRegistry(reg), WithLogger(obs.NopLogger())))
+	defer ts.Close()
+
+	ragged := tailOf(e, 64)
+	ragged[1] = ragged[1][:7] // one series shorter than the rest
+
+	resp := forecastReq(t, ts.URL, ForecastRequest{Indicators: ragged})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged indicators status = %d, want 400", resp.StatusCode)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Fatalf("error body missing: %+v %v", eb, err)
+	}
+	sum := 0.0
+	for _, reason := range degradeReasons {
+		sum += counterVal(reg, degradedName, obs.L("reason", reason))
+	}
+	if sum != 0 {
+		t.Fatalf("malformed payload counted as degraded forecast: %v", sum)
+	}
+	if got := counterVal(reg, "rptcn_panics_recovered_total"); got != 0 {
+		t.Fatalf("malformed payload caused a recovered panic: %v", got)
+	}
+}
+
+// benchServing drives b.N forecast requests through ServeHTTP from 32
+// concurrent workers and reports throughput plus p50/p99 request latency.
+func benchServing(b *testing.B, opts ...Option) {
+	p, e := fitted(b)
+	opts = append(opts, WithRegistry(obs.NewRegistry()), WithLogger(obs.NopLogger()))
+	srv := New(p, opts...)
+	defer srv.Close()
+	raw, err := json.Marshal(ForecastRequest{Indicators: tailOf(e, 64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const workers = 32
+	lat := make([]time.Duration, b.N)
+	var next atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/forecast", bytes.NewReader(raw))
+				req.Header.Set("Content-Type", "application/json")
+				rr := httptest.NewRecorder()
+				t0 := time.Now()
+				srv.ServeHTTP(rr, req)
+				lat[i] = time.Since(t0)
+				if rr.Code != http.StatusOK {
+					b.Errorf("status %d", rr.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+}
+
+// BenchmarkForecastServingSerial is the unfused baseline: MaxBatch 1
+// forces one forward per request through the same pipeline.
+func BenchmarkForecastServingSerial(b *testing.B) {
+	benchServing(b, WithBatching(BatchConfig{MaxBatch: 1, MaxDelay: time.Millisecond}))
+}
+
+// BenchmarkForecastServingBatched is the default micro-batched path at
+// concurrency 32.
+func BenchmarkForecastServingBatched(b *testing.B) {
+	benchServing(b)
+}

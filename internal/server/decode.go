@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"unsafe"
+)
+
+// Fast path for the /v1/forecast request body. The body is one shape —
+// {"indicators": [[...],[...]]} — and decoding it through encoding/json
+// reflection costs more than the model forward it feeds, so the hot
+// parser below scans the bytes directly and hands each number token to
+// strconv.ParseFloat (the same routine encoding/json uses, so values are
+// bitwise identical). Anything unexpected — escapes in the key, unknown
+// fields, nulls, malformed numbers — falls back to encoding/json, which
+// stays the single source of truth for error behavior.
+
+// decodeForecastRequest parses body into req, preferring the scanning
+// fast path and falling back to encoding/json when the body is not the
+// canonical shape.
+func decodeForecastRequest(body []byte, req *ForecastRequest) error {
+	if fastParseForecast(body, req) {
+		return nil
+	}
+	req.Indicators = nil
+	// Decoder (not Unmarshal) keeps the historical behavior of ignoring
+	// trailing data after the top-level object.
+	return json.NewDecoder(bytes.NewReader(body)).Decode(req)
+}
+
+// fastParseForecast attempts the strict canonical parse. It reports
+// false — leaving req in an undefined state — whenever the body deviates
+// from {"indicators": [[number...]...]} with plain whitespace.
+func fastParseForecast(body []byte, req *ForecastRequest) bool {
+	p := &fastParser{buf: body}
+	p.ws()
+	if !p.lit('{') {
+		return false
+	}
+	p.ws()
+	if !p.key("indicators") {
+		return false
+	}
+	p.ws()
+	if !p.lit(':') {
+		return false
+	}
+	p.ws()
+	rows, ok := p.rows()
+	if !ok {
+		return false
+	}
+	p.ws()
+	if !p.lit('}') {
+		return false
+	}
+	p.ws()
+	if p.pos != len(p.buf) {
+		return false // trailing bytes: let encoding/json decide
+	}
+	req.Indicators = rows
+	return true
+}
+
+type fastParser struct {
+	buf []byte
+	pos int
+}
+
+func (p *fastParser) ws() {
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fastParser) lit(c byte) bool {
+	if p.pos < len(p.buf) && p.buf[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// key matches a quoted object key with no escape sequences.
+func (p *fastParser) key(name string) bool {
+	n := len(name)
+	if p.pos+n+2 > len(p.buf) || p.buf[p.pos] != '"' || p.buf[p.pos+n+1] != '"' {
+		return false
+	}
+	if string(p.buf[p.pos+1:p.pos+n+1]) != name {
+		return false
+	}
+	p.pos += n + 2
+	return true
+}
+
+// rows parses the array-of-arrays of numbers.
+func (p *fastParser) rows() ([][]float64, bool) {
+	if !p.lit('[') {
+		return nil, false
+	}
+	p.ws()
+	if p.lit(']') {
+		return [][]float64{}, true
+	}
+	var rows [][]float64
+	for {
+		row, ok := p.row()
+		if !ok {
+			return nil, false
+		}
+		rows = append(rows, row)
+		p.ws()
+		if p.lit(',') {
+			p.ws()
+			continue
+		}
+		if p.lit(']') {
+			return rows, true
+		}
+		return nil, false
+	}
+}
+
+func (p *fastParser) row() ([]float64, bool) {
+	if !p.lit('[') {
+		return nil, false
+	}
+	p.ws()
+	if p.lit(']') {
+		return []float64{}, true
+	}
+	var row []float64
+	for {
+		v, ok := p.number()
+		if !ok {
+			return nil, false
+		}
+		row = append(row, v)
+		p.ws()
+		if p.lit(',') {
+			p.ws()
+			continue
+		}
+		if p.lit(']') {
+			return row, true
+		}
+		return nil, false
+	}
+}
+
+// number scans one token matching the JSON number grammar and converts
+// it with strconv.ParseFloat. The grammar check runs first: ParseFloat
+// alone is laxer than JSON (it takes "Inf", "NaN", hex floats, a leading
+// "+"), and those must keep failing exactly as encoding/json fails them.
+func (p *fastParser) number() (float64, bool) {
+	start := p.pos
+	p.lit('-')
+	// Integer part: one 0, or a nonzero digit followed by digits.
+	switch {
+	case p.lit('0'):
+	case p.digit():
+		for p.digit() {
+		}
+	default:
+		return 0, false
+	}
+	if p.lit('.') {
+		if !p.digit() {
+			return 0, false
+		}
+		for p.digit() {
+		}
+	}
+	if p.pos < len(p.buf) && (p.buf[p.pos] == 'e' || p.buf[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.buf) && (p.buf[p.pos] == '+' || p.buf[p.pos] == '-') {
+			p.pos++
+		}
+		if !p.digit() {
+			return 0, false
+		}
+		for p.digit() {
+		}
+	}
+	// Zero-copy string view: ParseFloat does not retain its argument, so
+	// aliasing the request buffer is safe and skips one allocation per
+	// number — the bulk of the parse cost for long histories.
+	tok := p.buf[start:p.pos]
+	v, err := strconv.ParseFloat(unsafe.String(&tok[0], len(tok)), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (p *fastParser) digit() bool {
+	if p.pos < len(p.buf) && p.buf[p.pos] >= '0' && p.buf[p.pos] <= '9' {
+		p.pos++
+		return true
+	}
+	return false
+}

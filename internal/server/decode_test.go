@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// stdlibDecode is the reference the fast path must agree with.
+func stdlibDecode(body []byte) (ForecastRequest, error) {
+	var req ForecastRequest
+	err := json.NewDecoder(bytes.NewReader(body)).Decode(&req)
+	return req, err
+}
+
+// TestDecodeForecastRequestMatchesStdlib feeds canonical, hostile and
+// degenerate bodies through both the fast path and encoding/json and
+// demands identical outcomes: same accept/reject decision and bitwise
+// identical floats.
+func TestDecodeForecastRequestMatchesStdlib(t *testing.T) {
+	bodies := [][]byte{
+		[]byte(`{"indicators":[[1,2,3],[4,5,6]]}`),
+		[]byte(` { "indicators" : [ [ 1.5 , -2e-3 ] , [ 0.25 ] ] } `),
+		[]byte("{\n\t\"indicators\": [[0]]\n}\n"),
+		[]byte(`{"indicators":[]}`),
+		[]byte(`{"indicators":[[]]}`),
+		[]byte(`{"indicators":[[1e308,-1e-308,0.0,-0.0]]}`),
+		[]byte(`{"indicators":[[1.7976931348623157e308]]}`),
+		[]byte(`{"indicators":[[5e-324,2.2250738585072014e-308]]}`),
+		[]byte(`{"indicators":[[0.1,0.2,0.30000000000000004]]}`),
+		[]byte(`{"indicators":[[1E+2,1e-2,12.34E1]]}`),
+		// Fallback shapes the fast path must hand to encoding/json.
+		[]byte(`{"extra":1,"indicators":[[1]]}`),
+		[]byte(`{"indicators":[[1]],"extra":1}`),
+		[]byte(`{"indicators":[[1]]}`),
+		[]byte(`{"indicators":null}`),
+		[]byte(`{"indicators":[null]}`),
+		[]byte(`{"indicators":[[null]]}`),
+		[]byte(`{}`),
+		[]byte(`{"indicators":[[1]]} trailing`),
+		[]byte(`{"indicators":[[1]]}{"indicators":[[2]]}`),
+		// Rejections that must stay rejections.
+		[]byte(`{"indicators":[[Inf]]}`),
+		[]byte(`{"indicators":[[NaN]]}`),
+		[]byte(`{"indicators":[[+1]]}`),
+		[]byte(`{"indicators":[[0x10]]}`),
+		[]byte(`{"indicators":[[01]]}`),
+		[]byte(`{"indicators":[[1.]]}`),
+		[]byte(`{"indicators":[[.5]]}`),
+		[]byte(`{"indicators":[[1e]]}`),
+		[]byte(`{"indicators":[[1,]]}`),
+		[]byte(`{"indicators":[[1],]}`),
+		[]byte(`{"indicators":[[1]`),
+		[]byte(`{nope`),
+		[]byte(``),
+		[]byte(`[[1,2]]`),
+	}
+	for _, body := range bodies {
+		want, wantErr := stdlibDecode(body)
+		var got ForecastRequest
+		gotErr := decodeForecastRequest(body, &got)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: err = %v, stdlib err = %v", body, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if len(got.Indicators) != len(want.Indicators) {
+			t.Fatalf("%s: %d rows, stdlib %d", body, len(got.Indicators), len(want.Indicators))
+		}
+		for i := range want.Indicators {
+			if len(got.Indicators[i]) != len(want.Indicators[i]) {
+				t.Fatalf("%s: row %d has %d cols, stdlib %d",
+					body, i, len(got.Indicators[i]), len(want.Indicators[i]))
+			}
+			for j := range want.Indicators[i] {
+				if math.Float64bits(got.Indicators[i][j]) != math.Float64bits(want.Indicators[i][j]) {
+					t.Fatalf("%s: [%d][%d] = %g, stdlib %g", body, i, j,
+						got.Indicators[i][j], want.Indicators[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeForecastRequestRoundTrip pushes randomized request bodies
+// (the exact bytes a Go client produces) through the fast path and
+// checks bitwise round-tripping.
+func TestDecodeForecastRequestRoundTrip(t *testing.T) {
+	r := tensor.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + int(r.Uint64()%8)
+		var req ForecastRequest
+		for i := 0; i < rows; i++ {
+			cols := int(r.Uint64() % 70)
+			row := make([]float64, cols)
+			for j := range row {
+				row[j] = r.NormFloat64() * math.Pow(10, float64(int(r.Uint64()%40))-20)
+			}
+			req.Indicators = append(req.Indicators, row)
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ForecastRequest
+		if err := decodeForecastRequest(raw, &got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !fastParseForecast(raw, &ForecastRequest{}) {
+			t.Fatalf("trial %d: canonical body missed the fast path", trial)
+		}
+		for i := range req.Indicators {
+			for j := range req.Indicators[i] {
+				if math.Float64bits(got.Indicators[i][j]) != math.Float64bits(req.Indicators[i][j]) {
+					t.Fatalf("trial %d: [%d][%d] drifted", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDecodeForecastFast(b *testing.B) {
+	_, e := fitted(b)
+	raw, _ := json.Marshal(ForecastRequest{Indicators: tailOf(e, 64)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req ForecastRequest
+		if err := decodeForecastRequest(raw, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeForecastStdlib(b *testing.B) {
+	_, e := fitted(b)
+	raw, _ := json.Marshal(ForecastRequest{Indicators: tailOf(e, 64)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stdlibDecode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,10 +20,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -34,9 +34,11 @@ import (
 	"repro/internal/trace"
 )
 
-// Server routes forecast requests to a fitted predictor. Model layers
-// cache activations during a forward pass, so inference is serialized with
-// a mutex; the handler itself is safe for concurrent use.
+// Server routes forecast requests to a fitted predictor. Concurrent
+// requests are micro-batched: each prepares its input in parallel, then
+// queues for the collector goroutine, which fuses up to MaxBatch waiting
+// requests into one grad-free arena forward (see batcher.go). The
+// handler itself is safe for concurrent use.
 type Server struct {
 	predictor  *core.Predictor
 	mux        *http.ServeMux
@@ -45,6 +47,8 @@ type Server struct {
 	tracer     *obstrace.Tracer
 	quality    *qualityMonitor
 	resilience ResilienceConfig
+	batchCfg   BatchConfig
+	batcher    *batcher
 
 	// Fault-tolerance plumbing: load shedding, circuit breaking, and the
 	// counters that account for every shed/degraded/recovered request.
@@ -53,8 +57,6 @@ type Server struct {
 	dropped  *obs.Counter
 	panics   *obs.Counter
 	canceled *obs.Counter
-
-	inferMu sync.Mutex // guards predictor.ForecastFrom
 }
 
 // Option customizes a Server.
@@ -103,6 +105,9 @@ func New(p *core.Predictor, opts ...Option) *Server {
 		"Requests abandoned by the client before the forecast finished (499).")
 	s.breaker = newBreaker(s.resilience.Breaker, s.reg.Gauge("rptcn_circuit_open",
 		"1 while the inference circuit breaker is open or half-open, else 0."))
+	// The queue holds at most MaxInFlight requests (the limiter admits no
+	// more), so enqueueing never blocks a request goroutine.
+	s.batcher = newBatcher(p, s.batchCfg, s.resilience.MaxInFlight, s.reg, s.log, s.panics)
 	// Pre-register every degradation reason so the family is complete on
 	// /metrics before the first incident.
 	for _, reason := range degradeReasons {
@@ -155,6 +160,14 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 
 // Registry returns the metrics registry the server reports into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close stops the micro-batching collector; requests caught mid-queue
+// are answered with ErrServerClosed. Idempotent. In-flight HTTP requests
+// should be drained first (http.Server.Shutdown).
+func (s *Server) Close() error {
+	s.batcher.close()
+	return nil
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -220,20 +233,35 @@ const maxBodyBytes = 16 << 20
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	var req ForecastRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unreadable body: %v", err))
+		return
+	}
+	if err := decodeForecastRequest(body, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err))
 		return
 	}
 	if len(req.Indicators) == 0 {
 		s.writeError(w, http.StatusBadRequest, "indicators must be non-empty")
 		return
+	}
+	// Ragged histories can never form a valid window; reject them as a
+	// client error here rather than letting the pipeline's panic surface
+	// as a model failure (which would charge the breaker for a bad payload).
+	for i, row := range req.Indicators {
+		if len(row) != len(req.Indicators[0]) {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"indicator series must all have the same length: series 0 has %d samples, series %d has %d",
+				len(req.Indicators[0]), i, len(row)))
+			return
+		}
 	}
 
 	forecast, res := s.infer(r.Context(), req.Indicators)
@@ -250,8 +278,8 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 					err = fmt.Errorf("inference panic: %v", p)
 				}
 			}()
-			s.inferMu.Lock()
-			defer s.inferMu.Unlock()
+			// ForecastFrom self-serializes inside the predictor, so the
+			// backtest needs no server-side lock.
 			return s.predictor.ForecastFrom(h)
 		})
 		s.writeJSON(w, http.StatusOK, ForecastResponse{
@@ -300,11 +328,18 @@ type inferResult struct {
 }
 
 // infer runs one model inference with the full protection stack: the
-// circuit breaker may short-circuit it, a panic inside the model is
-// recovered in the inference goroutine (a cross-goroutine panic cannot
-// be caught by HTTP middleware), the request deadline bounds the wait,
-// a canceled client context is surfaced as such, and a non-finite
-// forecast is rejected as a model failure.
+// circuit breaker may short-circuit it, a panic anywhere on the model
+// path is recovered off-goroutine (a cross-goroutine panic cannot be
+// caught by HTTP middleware), the request deadline bounds the wait, a
+// canceled client context is surfaced as such, and a non-finite forecast
+// is rejected as a model failure.
+//
+// The work splits in two: the per-request goroutine runs the data
+// pipeline (PrepareInput — read-only, so requests prepare in parallel),
+// then hands the prepared window to the micro-batcher, which fuses
+// concurrent requests into one arena forward. Every protection is still
+// per-request: each waiter has its own deadline, its own breaker
+// outcome, and its own degradation decision.
 func (s *Server) infer(ctx context.Context, series [][]float64) ([]float64, inferResult) {
 	if !s.breaker.allow() {
 		return nil, inferResult{kind: inferDegraded, reason: "breaker_open"}
@@ -329,10 +364,13 @@ func (s *Server) infer(ctx context.Context, series [][]float64) ([]float64, infe
 		// Chaos hook: the server.forecast fault point injects latency or
 		// panics here, upstream of the real model call.
 		fault.Disrupt("server.forecast")
-		s.inferMu.Lock()
-		defer s.inferMu.Unlock()
-		f, err := s.predictor.ForecastFrom(series)
-		o = outcome{forecast: f, err: err}
+		in, err := s.predictor.PrepareInput(series)
+		if err != nil {
+			o = outcome{err: err}
+			return
+		}
+		resp := s.batcher.submit(in)
+		o = outcome{forecast: resp.forecast, err: resp.err, panicked: resp.panicked}
 	}()
 	timer := time.NewTimer(s.resilience.RequestTimeout)
 	defer timer.Stop()

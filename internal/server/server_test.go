@@ -14,7 +14,7 @@ import (
 )
 
 // fitted returns a small fitted predictor plus the entity it trained on.
-func fitted(t *testing.T) (*core.Predictor, *trace.EntitySeries) {
+func fitted(t testing.TB) (*core.Predictor, *trace.EntitySeries) {
 	t.Helper()
 	e := trace.Generate(trace.GeneratorConfig{
 		Entities: 1, Kind: trace.Container, Samples: 700, Seed: 1,

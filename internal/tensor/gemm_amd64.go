@@ -1,0 +1,39 @@
+package tensor
+
+// fmaKernel4x8 is the AVX2+FMA microkernel in gemm_amd64.s. ap and bp
+// point at packed panels of at least k*MR and k*NR elements; c points at
+// the top-left of a 4×8 tile with row stride ldc (the tile must be fully
+// in bounds). k must be ≥ 1.
+func fmaKernel4x8(ap, bp, c *float64, k, ldc int, acc bool)
+
+func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// useFMAKernel is decided once at startup: the assembly kernel needs
+// AVX2 + FMA3 and an OS that saves YMM state (OSXSAVE + XCR0 bits 1–2).
+// Without them the portable math.FMA kernel runs instead — slower,
+// bitwise identical.
+var useFMAKernel = detectFMAKernel()
+
+func detectFMAKernel() bool {
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidRaw(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidRaw(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable math.FMA register tile. On
+// arm64 math.FMA compiles to the native fused instruction, so "portable"
+// is not a euphemism for slow there.
+const useFMAKernel = false
+
+func fmaKernel4x8(ap, bp, c *float64, k, ldc int, acc bool) {
+	panic("tensor: fmaKernel4x8 without assembly support")
+}

@@ -1,0 +1,182 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// fmaOracle computes one element the way every gemm path must: a single
+// exactly-rounded fused multiply-add per k-step, ascending k.
+func fmaOracle(init float64, a func(p int) float64, b func(p int) float64, k int) float64 {
+	acc := init
+	for p := 0; p < k; p++ {
+		acc = math.FMA(a(p), b(p), acc)
+	}
+	return acc
+}
+
+func requireBitwise(t *testing.T, got, want *Tensor, what string) {
+	t.Helper()
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: elem %d = %x, want %x (%g vs %g)", what, i,
+				math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]),
+				got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// gemmShapes covers interior-only, ragged-edge, tall-skinny, wide, and
+// sub-tile shapes, plus one big enough to cross the parallel threshold.
+var gemmShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 5, 1},
+	{3, 7, 5},
+	{4, 8, 8},
+	{5, 9, 17},
+	{8, 16, 24},
+	{31, 33, 29},
+	{32, 64, 64},
+	{97, 53, 89},
+	{128, 1, 64},
+	{1, 64, 256},
+	{64, 128, 96},
+}
+
+func TestMatMulMatchesFMAOracle(t *testing.T) {
+	r := NewRNG(3)
+	for _, sh := range gemmShapes {
+		a := RandN(r, sh.m, sh.k)
+		b := RandN(r, sh.k, sh.n)
+		got := a.MatMul(b)
+		want := New(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want.Data[i*sh.n+j] = fmaOracle(0,
+					func(p int) float64 { return a.Data[i*sh.k+p] },
+					func(p int) float64 { return b.Data[p*sh.n+j] }, sh.k)
+			}
+		}
+		requireBitwise(t, got, want, "MatMul")
+	}
+}
+
+func TestMatMulTMatchesFMAOracle(t *testing.T) {
+	r := NewRNG(4)
+	for _, sh := range gemmShapes {
+		a := RandN(r, sh.m, sh.k)
+		b := RandN(r, sh.n, sh.k)
+		got := a.MatMulT(b)
+		want := New(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want.Data[i*sh.n+j] = fmaOracle(0,
+					func(p int) float64 { return a.Data[i*sh.k+p] },
+					func(p int) float64 { return b.Data[j*sh.k+p] }, sh.k)
+			}
+		}
+		requireBitwise(t, got, want, "MatMulT")
+	}
+}
+
+func TestTMatMulAccMatchesFMAOracle(t *testing.T) {
+	r := NewRNG(5)
+	for _, sh := range gemmShapes {
+		a := RandN(r, sh.k, sh.m)
+		b := RandN(r, sh.k, sh.n)
+		dst := RandN(r, sh.m, sh.n)
+		want := New(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want.Data[i*sh.n+j] = fmaOracle(dst.Data[i*sh.n+j],
+					func(p int) float64 { return a.Data[p*sh.m+i] },
+					func(p int) float64 { return b.Data[p*sh.n+j] }, sh.k)
+			}
+		}
+		a.TMatMulAcc(b, dst)
+		requireBitwise(t, dst, want, "TMatMulAcc")
+	}
+}
+
+// TestGemmRowIndependence pins the property batched inference relies on:
+// row i of a large product is bitwise the result of multiplying row i
+// alone — regardless of batch size or which kernel path the size picks.
+func TestGemmRowIndependence(t *testing.T) {
+	r := NewRNG(6)
+	const m, k, n = 37, 48, 40
+	a := RandN(r, m, k)
+	b := RandN(r, k, n)
+	full := a.MatMul(b)
+	for _, i := range []int{0, 1, 17, m - 1} {
+		row := FromSlice(append([]float64(nil), a.Data[i*k:(i+1)*k]...), 1, k)
+		single := row.MatMul(b)
+		for j := 0; j < n; j++ {
+			if math.Float64bits(single.Data[j]) != math.Float64bits(full.Data[i*n+j]) {
+				t.Fatalf("row %d col %d: batch result %g != single-row result %g",
+					i, j, full.Data[i*n+j], single.Data[j])
+			}
+		}
+	}
+}
+
+// TestGemmWorkerCountInvariance reruns the same large products under
+// 1, 2 and 4 workers and demands bitwise identical results.
+func TestGemmWorkerCountInvariance(t *testing.T) {
+	r := NewRNG(7)
+	const m, k, n = 130, 67, 75 // crosses parallelFlops, ragged in every dim
+	a := RandN(r, m, k)
+	b := RandN(r, k, n)
+	bT := RandN(r, n, k)
+	aT := RandN(r, k, m)
+	acc0 := RandN(r, m, n)
+
+	type result struct{ mm, mmt, tmm *Tensor }
+	runAll := func(workers int) result {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		acc := FromSlice(append([]float64(nil), acc0.Data...), m, n)
+		return result{a.MatMul(b), a.MatMulT(bT), aT.TMatMulAcc(b, acc)}
+	}
+	base := runAll(1)
+	for _, w := range []int{2, 4} {
+		got := runAll(w)
+		requireBitwise(t, got.mm, base.mm, "MatMul workers")
+		requireBitwise(t, got.mmt, base.mmt, "MatMulT workers")
+		requireBitwise(t, got.tmm, base.tmm, "TMatMulAcc workers")
+	}
+}
+
+// TestGemmCloseToReference sanity-checks the fused kernels against the
+// unfused naive loops: same math, different rounding, so agreement must
+// be tight but is not bitwise.
+func TestGemmCloseToReference(t *testing.T) {
+	r := NewRNG(8)
+	const m, k, n = 33, 41, 27
+	a := RandN(r, m, k)
+	b := RandN(r, k, n)
+	got := a.MatMul(b)
+	want := New(m, n)
+	a.ReferenceMatMulInto(b, want)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("packed MatMul far from naive reference")
+	}
+}
+
+// TestGemmZeroAllocSteadyState verifies a warmed-up Into-variant matmul
+// performs no heap allocations.
+func TestGemmZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation defeats escape analysis; allocation counts are meaningless")
+	}
+	r := NewRNG(9)
+	a := RandN(r, 64, 64)
+	b := RandN(r, 64, 64)
+	dst := New(64, 64)
+	a.MatMulInto(b, dst) // warm the scratch pools
+	allocs := testing.AllocsPerRun(20, func() { a.MatMulInto(b, dst) })
+	if allocs != 0 {
+		t.Fatalf("MatMulInto steady state allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -27,9 +27,8 @@ const parallelFlops = 32 * 64 * 64
 // roughly the same ≥10× dispatch-cost bar as parallelFlops.
 const parallelElems = 32 * 1024
 
-// MatMul returns the matrix product t × u for 2-D tensors, computed with a
-// cache-friendly ikj loop order and parallelized across rows for large
-// outputs.
+// MatMul returns the matrix product t × u for 2-D tensors via the packed
+// register-tile GEMM kernel (see gemm.go).
 func (t *Tensor) MatMul(u *Tensor) *Tensor {
 	m, _, n := matmulDims(t, u, "MatMul")
 	out := New(m, n)
@@ -42,33 +41,8 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 func (t *Tensor) MatMulInto(u, dst *Tensor) *Tensor {
 	m, k, n := matmulDims(t, u, "MatMulInto")
 	checkDst(dst, m, n, "MatMulInto")
-	dst.Zero()
-	if m*n*k < parallelFlops {
-		matmulRows(dst.Data, t.Data, u.Data, 0, m, k, n)
-		return dst
-	}
-	par.Run(m, func(lo, hi int) {
-		matmulRows(dst.Data, t.Data, u.Data, lo, hi, k, n)
-	})
+	gemm(gemmOp{a: t.Data, b: u.Data, dst: dst.Data, m: m, k: k, n: n})
 	return dst
-}
-
-// matmulRows computes rows [lo,hi) of out = a×b where a is m×k and b is k×n.
-// out rows must be zeroed on entry.
-func matmulRows(out, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
 // MatMulT returns t × uᵀ without materializing the transpose.
@@ -84,36 +58,11 @@ func (t *Tensor) MatMulT(u *Tensor) *Tensor {
 func (t *Tensor) MatMulTInto(u, dst *Tensor) *Tensor {
 	m, k, n := matmulTDims(t, u, "MatMulTInto")
 	checkDst(dst, m, n, "MatMulTInto")
-	if m*n*k < parallelFlops {
-		matmulTRows(dst.Data, t.Data, u.Data, 0, m, k, n)
-		return dst
-	}
-	par.Run(m, func(lo, hi int) {
-		matmulTRows(dst.Data, t.Data, u.Data, lo, hi, k, n)
-	})
+	gemm(gemmOp{a: t.Data, b: u.Data, dst: dst.Data, m: m, k: k, n: n, bTrans: true})
 	return dst
 }
 
-// matmulTRows computes rows [lo,hi) of out = a×bᵀ where a is m×k, b is n×k.
-func matmulTRows(out, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			orow[j] = s
-		}
-	}
-}
-
-// TMatMul returns tᵀ × u without materializing the transpose. Work is
-// split across column blocks of the output; within each element the
-// accumulation order over the inner dimension is ascending regardless of
-// worker count, so results are bitwise deterministic.
+// TMatMul returns tᵀ × u without materializing the transpose.
 func (t *Tensor) TMatMul(u *Tensor) *Tensor {
 	_, m := tmatmulDims(t, u, "TMatMul")
 	return t.TMatMulAcc(u, New(m, u.shape[1]))
@@ -126,25 +75,7 @@ func (t *Tensor) TMatMulAcc(u, dst *Tensor) *Tensor {
 	k, m := tmatmulDims(t, u, "TMatMulAcc")
 	n := u.shape[1]
 	checkDst(dst, m, n, "TMatMulAcc")
-	if m*n*k < parallelFlops || n < 2 {
-		tmatmulCols(dst.Data, t.Data, u.Data, 0, n, k, m, n)
-		return dst
-	}
-	// Column-block split keeps the cache-friendly p-outer loop (out is
-	// typically a small gradient matrix that fits in cache) while giving
-	// each worker a disjoint slice of every output row. Each block pays a
-	// full traversal of t, so blocks are kept ≥32 columns wide — narrower
-	// blocks spend more time re-reading t and setting up 2–3-element inner
-	// loops than multiplying (a 32-way split of a 96-column op measured 3×
-	// slower than sequential).
-	const minColBlock = 32
-	grain := (n + minColBlock - 1) / minColBlock
-	if grain < minColBlock {
-		grain = minColBlock
-	}
-	par.RunGrain(n, grain, func(jlo, jhi int) {
-		tmatmulCols(dst.Data, t.Data, u.Data, jlo, jhi, k, m, n)
-	})
+	gemm(gemmOp{a: t.Data, b: u.Data, dst: dst.Data, m: m, k: k, n: n, aTrans: true, acc: true})
 	return dst
 }
 
@@ -157,24 +88,6 @@ func tmatmulDims(t, u *Tensor, op string) (k, m int) {
 		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %vᵀ × %v", op, t.dims(), u.dims()))
 	}
 	return k, m
-}
-
-// tmatmulCols computes columns [jlo,jhi) of out = aᵀ×b where a is k×m and
-// b is k×n.
-func tmatmulCols(out, a, b []float64, jlo, jhi, k, m, n int) {
-	for p := 0; p < k; p++ {
-		arow := a[p*m : (p+1)*m]
-		brow := b[p*n+jlo : p*n+jhi]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out[i*n+jlo : i*n+jhi]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.

@@ -109,8 +109,8 @@ func (r *RNG) Split() *RNG {
 // stream, including the buffered Box–Muller spare, so checkpoint/resume
 // reproduces Gaussian draws bit for bit.
 type RNGState struct {
-	State    uint64  `json:"state"`
-	HasSpare bool    `json:"has_spare,omitempty"`
+	State     uint64 `json:"state"`
+	HasSpare  bool   `json:"has_spare,omitempty"`
 	SpareBits uint64 `json:"spare_bits,omitempty"`
 }
 

@@ -192,7 +192,7 @@ func TestMatMulParallelMatchesSequential(t *testing.T) {
 	b := RandN(r, k, n)
 	got := a.MatMul(b)
 	want := New(m, n)
-	matmulRows(want.Data, a.Data, b.Data, 0, m, k, n)
+	a.ReferenceMatMulInto(b, want)
 	if !got.Equal(want, 1e-12) {
 		t.Fatal("parallel MatMul disagrees with sequential kernel")
 	}
