@@ -12,7 +12,9 @@
 //
 //	curl localhost:8080/v1/model
 //	curl localhost:8080/metrics
-//	curl -X POST localhost:8080/v1/forecast -d '{"indicators": [[...], ...]}'
+//	curl -X POST localhost:8080/v1/forecast -d '{"indicators": [[...], ...], "entity": "c1", "t": 1234}'
+//	curl -X POST localhost:8080/v1/observe -d '{"entity": "c1", "t0": 1235, "values": [42.1, 40.8]}'
+//	curl localhost:8080/debug/quality      # live accuracy, drift, and SLO status (add ?format=html)
 //	curl localhost:6060/debug/traces      # recorded span trees (with -trace)
 //	go run ./cmd/runlog runs              # summarize the run journal
 //
@@ -37,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/runlog"
 	obstrace "repro/internal/obs/trace"
+	"repro/internal/quality"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/train"
@@ -66,6 +69,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 32, "max concurrent requests before shedding with 429")
 		maxBatch    = flag.Int("max-batch", 32, "max forecasts fused into one model pass (1 disables micro-batching)")
 		maxDelay    = flag.Duration("max-batch-delay", 2*time.Millisecond, "longest a forecast waits for batch-mates before running anyway")
+		sloSpec     = flag.String("slo", "", `forecast-quality SLO rules, comma-separated (e.g. "mae<=5@256, p90_abs_err<=12")`)
 	)
 	flag.Parse()
 	log := obs.Logger("rptcnd")
@@ -77,6 +81,10 @@ func main() {
 	fatal := func(msg string, err error) {
 		log.Error(msg, "err", err)
 		os.Exit(1)
+	}
+	sloRules, err := quality.ParseRules(*sloSpec)
+	if err != nil {
+		fatal("parse -slo", err)
 	}
 	resilience := server.ResilienceConfig{
 		MaxInFlight:    *maxInflight,
@@ -97,7 +105,7 @@ func main() {
 		if err != nil {
 			fatal("load model", err)
 		}
-		serve(log, *addr, *debugAddr, p, resilience, batching)
+		serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir)
 		return
 	}
 
@@ -213,20 +221,37 @@ func main() {
 	if err := journal.Close(); err != nil {
 		log.Error("run journal", "err", err)
 	}
-	serve(log, *addr, *debugAddr, p, resilience, batching)
+	serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir)
 }
 
-func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig, batch server.BatchConfig) {
+func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig,
+	batch server.BatchConfig, sloRules []quality.Rule, runDir string) {
 	reg := obs.Default()
 	reg.PublishExpvar("rptcn")
 	// Pre-register the training families so /metrics shows them even for
 	// predictors served via -load (no training in this process).
 	train.NewMetricsHook(reg)
 
+	// Serving journal: drift and SLO transitions detected while serving
+	// land in their own JSONL run artifact, separate from the training run.
+	var journal *runlog.Run
+	if runDir != "" {
+		var err error
+		journal, err = runlog.Create(runDir)
+		if err != nil {
+			log.Error("create serving journal", "err", err)
+			os.Exit(1)
+		}
+		log.Info("journaling serving-quality events", "path", journal.Path())
+	}
+
+	handler := server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
+		server.WithResilience(res), server.WithBatching(batch),
+		server.WithQualityConfig(quality.Config{Rules: sloRules}),
+		server.WithJournal(journal))
 	srv := &http.Server{
-		Addr: addr,
-		Handler: server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
-			server.WithResilience(res), server.WithBatching(batch)),
+		Addr:              addr,
+		Handler:           handler,
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -258,7 +283,7 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Info("serving forecasts", "addr", addr,
-		"endpoints", "GET /healthz, GET /metrics, GET /v1/model, POST /v1/forecast")
+		"endpoints", "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/observe, GET /debug/quality")
 
 	select {
 	case err := <-errCh:
@@ -273,6 +298,13 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Error("shutdown", "err", err)
 		}
+	}
+	// Stop the quality engine's worker and flush the serving journal.
+	if err := handler.Close(); err != nil {
+		log.Error("close server", "err", err)
+	}
+	if err := journal.Close(); err != nil {
+		log.Error("serving journal", "err", err)
 	}
 
 	// Final metrics snapshot: the operational record of this process.

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	RegisterBuildInfo(r) // idempotent
+
+	var found *Snapshot
+	for _, s := range r.Snapshot() {
+		if s.Name == "rptcn_build_info" {
+			if found != nil {
+				t.Fatalf("rptcn_build_info registered more than once")
+			}
+			cp := s
+			found = &cp
+		}
+	}
+	if found == nil {
+		t.Fatal("rptcn_build_info not registered")
+	}
+	if found.Value != 1 {
+		t.Fatalf("rptcn_build_info = %v, want 1", found.Value)
+	}
+	for _, key := range []string{"version=", "revision=", "modified=", "go_version="} {
+		if !strings.Contains(found.Labels, key) {
+			t.Errorf("labels %q missing %q", found.Labels, key)
+		}
+	}
+	if !strings.Contains(found.Labels, runtime.Version()) {
+		t.Errorf("labels %q missing go version %q", found.Labels, runtime.Version())
+	}
+}

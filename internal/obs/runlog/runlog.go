@@ -47,6 +47,11 @@ const (
 	// best-weight rollbacks); TypeResume records a checkpoint resume.
 	TypeGuard  = "guard"
 	TypeResume = "resume"
+	// TypeDrift records online quality events from internal/quality:
+	// mutation-point detections (kind=mutation) and drift-detector state
+	// transitions (kind=level). TypeSLO records SLO rule transitions.
+	TypeDrift = "drift"
+	TypeSLO   = "slo"
 )
 
 // Run is an open journal. Log is safe for concurrent use; write errors
@@ -253,6 +258,14 @@ func Summarize(events []Event) string {
 		case TypeProfile:
 			b.WriteString("\nper-layer profile:\n")
 			b.WriteString(profileTable(ev.Data))
+		case TypeDrift:
+			b.WriteString("drift: ")
+			b.WriteString(flatKV(ev.Data))
+			b.WriteString("\n")
+		case TypeSLO:
+			b.WriteString("slo: ")
+			b.WriteString(flatKV(ev.Data))
+			b.WriteString("\n")
 		case TypeFinal:
 			b.WriteString("\nfinal: ")
 			b.WriteString(flatKV(ev.Data))

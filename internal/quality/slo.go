@@ -1,0 +1,245 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Declarative forecast-quality SLOs. A rule is a comparison over a
+// statistic of the most recent resolved forecast/actual pairs — the
+// burn window — e.g. "p90 of |error| over the last 240 pairs must stay
+// under 12":
+//
+//	p90_abs_err<=12@240
+//
+// Rules are written metric OP threshold [@window] and separated by
+// commas (or semicolons). Supported metrics:
+//
+//	mae          mean |forecast-actual|
+//	mse          mean squared error
+//	bias         mean signed error (forecast-actual; >0 over-predicts)
+//	abs_bias     |bias|
+//	p50_abs_err  median |error|
+//	p90_abs_err  90th percentile |error|
+//	p99_abs_err  99th percentile |error|
+//	over_ratio   fraction of pairs with forecast > actual
+//	under_ratio  fraction of pairs with forecast < actual
+//
+// Supported operators: <=, <, >=, >. The optional @N suffix overrides
+// the burn window (default: the engine's full rolling window).
+
+// Rule is one parsed SLO rule.
+type Rule struct {
+	Metric    string
+	Op        string
+	Threshold float64
+	// Window is the burn window in resolved pairs (0 = engine default).
+	Window int
+}
+
+// String renders the rule back in its canonical syntax.
+func (r Rule) String() string {
+	s := r.Metric + r.Op + strconv.FormatFloat(r.Threshold, 'g', -1, 64)
+	if r.Window > 0 {
+		s += "@" + strconv.Itoa(r.Window)
+	}
+	return s
+}
+
+// sloMetricNames lists the valid rule metrics.
+var sloMetricNames = []string{
+	"mae", "mse", "bias", "abs_bias",
+	"p50_abs_err", "p90_abs_err", "p99_abs_err",
+	"over_ratio", "under_ratio",
+}
+
+func validSLOMetric(m string) bool {
+	for _, n := range sloMetricNames {
+		if n == m {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseRules parses a rule list like "mae<=5, p90_abs_err<=12@240".
+// An empty string yields no rules.
+func ParseRules(s string) ([]Rule, error) {
+	var out []Rule
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ';' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	var op string
+	var idx int
+	// Two-character operators first so "<=" does not parse as "<".
+	for _, cand := range []string{"<=", ">=", "<", ">"} {
+		if i := strings.Index(s, cand); i > 0 {
+			op, idx = cand, i
+			break
+		}
+	}
+	if op == "" {
+		return Rule{}, fmt.Errorf("quality: rule %q: want metric<=value (operators <=, <, >=, >)", s)
+	}
+	r := Rule{Metric: strings.TrimSpace(s[:idx]), Op: op}
+	rhs := strings.TrimSpace(s[idx+len(op):])
+	if at := strings.IndexByte(rhs, '@'); at >= 0 {
+		w, err := strconv.Atoi(strings.TrimSpace(rhs[at+1:]))
+		if err != nil || w <= 0 {
+			return Rule{}, fmt.Errorf("quality: rule %q: bad window %q", s, rhs[at+1:])
+		}
+		r.Window = w
+		rhs = strings.TrimSpace(rhs[:at])
+	}
+	v, err := strconv.ParseFloat(rhs, 64)
+	if err != nil || math.IsNaN(v) {
+		return Rule{}, fmt.Errorf("quality: rule %q: bad threshold %q", s, rhs)
+	}
+	r.Threshold = v
+	if !validSLOMetric(r.Metric) {
+		return Rule{}, fmt.Errorf("quality: rule %q: unknown metric %q (have %s)",
+			s, r.Metric, strings.Join(sloMetricNames, " "))
+	}
+	return r, nil
+}
+
+// RuleStatus is the live evaluation of one rule.
+type RuleStatus struct {
+	Rule  string  `json:"rule"`
+	State string  `json:"state"` // pending | ok | breach
+	Value float64 `json:"value"`
+	Count int     `json:"count"` // pairs the value was computed over
+}
+
+// The rule states.
+const (
+	sloPending = "pending"
+	sloOK      = "ok"
+	sloBreach  = "breach"
+)
+
+// evalRule computes the rule's metric over the last min(window, len)
+// signed errors (chronological order) and compares it. minCount pairs
+// are required before the rule leaves "pending".
+func evalRule(r Rule, errs []float64, defaultWindow, minCount int) RuleStatus {
+	w := r.Window
+	if w <= 0 {
+		w = defaultWindow
+	}
+	if w > 0 && len(errs) > w {
+		errs = errs[len(errs)-w:]
+	}
+	st := RuleStatus{Rule: r.String(), Count: len(errs)}
+	if len(errs) < minCount {
+		st.State = sloPending
+		return st
+	}
+	st.Value = sloMetric(r.Metric, errs)
+	ok := false
+	switch r.Op {
+	case "<=":
+		ok = st.Value <= r.Threshold
+	case "<":
+		ok = st.Value < r.Threshold
+	case ">=":
+		ok = st.Value >= r.Threshold
+	case ">":
+		ok = st.Value > r.Threshold
+	}
+	if ok {
+		st.State = sloOK
+	} else {
+		st.State = sloBreach
+	}
+	return st
+}
+
+// sloMetric computes one metric over signed errors in chronological
+// order (summation order is part of the contract: an offline
+// recomputation over the same pairs must match bitwise).
+func sloMetric(metric string, errs []float64) float64 {
+	n := float64(len(errs))
+	switch metric {
+	case "mae":
+		s := 0.0
+		for _, e := range errs {
+			s += math.Abs(e)
+		}
+		return s / n
+	case "mse":
+		s := 0.0
+		for _, e := range errs {
+			s += e * e
+		}
+		return s / n
+	case "bias":
+		s := 0.0
+		for _, e := range errs {
+			s += e
+		}
+		return s / n
+	case "abs_bias":
+		s := 0.0
+		for _, e := range errs {
+			s += e
+		}
+		return math.Abs(s / n)
+	case "p50_abs_err":
+		return absQuantile(errs, 0.50)
+	case "p90_abs_err":
+		return absQuantile(errs, 0.90)
+	case "p99_abs_err":
+		return absQuantile(errs, 0.99)
+	case "over_ratio":
+		c := 0
+		for _, e := range errs {
+			if e > 0 {
+				c++
+			}
+		}
+		return float64(c) / n
+	case "under_ratio":
+		c := 0
+		for _, e := range errs {
+			if e < 0 {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+	return math.NaN()
+}
+
+// absQuantile is the exact empirical q-quantile of |errs|: the smallest
+// absolute error that at least a fraction q of the pairs lie at or
+// below.
+func absQuantile(errs []float64, q float64) float64 {
+	abs := make([]float64, len(errs))
+	for i, e := range errs {
+		abs[i] = math.Abs(e)
+	}
+	sort.Float64s(abs)
+	idx := int(math.Ceil(q*float64(len(abs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(abs) {
+		idx = len(abs) - 1
+	}
+	return abs[idx]
+}

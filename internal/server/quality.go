@@ -48,12 +48,14 @@ func (r *rollingStat) mean() float64 {
 //
 //	rptcn_serving_backtest_mae          gauge, rolling window
 //	rptcn_serving_backtest_mse          gauge, rolling window
+//	rptcn_serving_backtest_bias         gauge, rolling signed mean error
 //	rptcn_serving_backtest_samples_total counter
 //	rptcn_serving_backtest_skipped_total counter (short history / errors)
 //	rptcn_serving_input_oor_ratio       gauge, rolling window
 type qualityMonitor struct {
 	mae       *obs.Gauge
 	mse       *obs.Gauge
+	bias      *obs.Gauge
 	oor       *obs.Gauge
 	backtests *obs.Counter
 	skipped   *obs.Counter
@@ -66,7 +68,21 @@ type qualityMonitor struct {
 	mu     sync.Mutex
 	absErr rollingStat
 	sqErr  rollingStat
+	sgnErr rollingStat
 	oorRat rollingStat
+}
+
+// inputSummary is what one request's input told us, handed onward to the
+// quality engine's detectors.
+type inputSummary struct {
+	// OOR is this request's out-of-range fraction (HasOOR false when the
+	// predictor has no normalization bounds to compare against).
+	OOR    float64
+	HasOOR bool
+	// Mean is the mean of the trailing input window of the target
+	// indicator — the statistic the input mutation detector watches.
+	Mean    float64
+	HasMean bool
 }
 
 func newQualityMonitor(reg *obs.Registry, p *core.Predictor) *qualityMonitor {
@@ -75,6 +91,8 @@ func newQualityMonitor(reg *obs.Registry, p *core.Predictor) *qualityMonitor {
 			"Rolling mean absolute error of backtested forecasts (raw scale)."),
 		mse: reg.Gauge("rptcn_serving_backtest_mse",
 			"Rolling mean squared error of backtested forecasts (raw scale)."),
+		bias: reg.Gauge("rptcn_serving_backtest_bias",
+			"Rolling signed mean error (forecast-actual) of backtested forecasts; positive over-predicts."),
 		oor: reg.Gauge("rptcn_serving_input_oor_ratio",
 			"Rolling fraction of input values outside the training min-max bounds."),
 		backtests: reg.Counter("rptcn_serving_backtest_samples_total",
@@ -91,18 +109,38 @@ func newQualityMonitor(reg *obs.Registry, p *core.Predictor) *qualityMonitor {
 	return q
 }
 
-// observe processes one served request's history. infer must serialize
+// observe processes one served request's history and returns the input
+// summary the quality engine's detectors consume. infer must serialize
 // access to the model (the server passes a ForecastFrom closure holding
 // its inference mutex).
-func (q *qualityMonitor) observe(series [][]float64, infer func([][]float64) ([]float64, error)) {
-	q.observeShift(series)
+func (q *qualityMonitor) observe(series [][]float64, infer func([][]float64) ([]float64, error)) inputSummary {
+	sum := q.observeShift(series)
 	q.backtest(series, infer)
+	if q.targetIdx < len(series) && len(series[q.targetIdx]) > 0 {
+		tgt := series[q.targetIdx]
+		// The trailing window the model actually saw, so requests with
+		// different history lengths feed a comparable statistic.
+		if q.minHist > 0 && len(tgt) > q.minHist {
+			tgt = tgt[len(tgt)-q.minHist:]
+		}
+		s, n := 0.0, 0
+		for _, v := range tgt {
+			if v == v { // skip NaN
+				s += v
+				n++
+			}
+		}
+		if n > 0 {
+			sum.Mean, sum.HasMean = s/float64(n), true
+		}
+	}
+	return sum
 }
 
 // observeShift updates the out-of-range ratio over every submitted value.
-func (q *qualityMonitor) observeShift(series [][]float64) {
+func (q *qualityMonitor) observeShift(series [][]float64) (sum inputSummary) {
 	if len(q.normMin) == 0 {
-		return
+		return sum
 	}
 	total, out := 0, 0
 	for i, s := range series {
@@ -117,12 +155,14 @@ func (q *qualityMonitor) observeShift(series [][]float64) {
 		}
 	}
 	if total == 0 {
-		return
+		return sum
 	}
+	sum.OOR, sum.HasOOR = float64(out)/float64(total), true
 	q.mu.Lock()
-	q.oorRat.push(float64(out) / float64(total))
+	q.oorRat.push(sum.OOR)
 	q.oor.Set(q.oorRat.mean())
 	q.mu.Unlock()
+	return sum
 }
 
 // backtest hides the last horizon samples, forecasts them, and folds the
@@ -158,6 +198,7 @@ func (q *qualityMonitor) backtest(series [][]float64, infer func([][]float64) ([
 	defer q.mu.Unlock()
 	for k := 0; k < len(preds) && k < len(actual); k++ {
 		e := preds[k] - actual[k]
+		q.sgnErr.push(e)
 		if e < 0 {
 			e = -e
 		}
@@ -167,4 +208,5 @@ func (q *qualityMonitor) backtest(series [][]float64, infer func([][]float64) ([
 	}
 	q.mae.Set(q.absErr.mean())
 	q.mse.Set(q.sqErr.mean())
+	q.bias.Set(q.sgnErr.mean())
 }

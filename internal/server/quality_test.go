@@ -2,6 +2,7 @@ package server
 
 import (
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -57,6 +58,19 @@ func TestForecastFeedsQualityGauges(t *testing.T) {
 	}
 	if snaps["rptcn_serving_backtest_mse"] <= 0 {
 		t.Fatalf("backtest MSE not set: %v", snaps["rptcn_serving_backtest_mse"])
+	}
+	// The signed mean error must be set and bounded by the MAE (|mean e|
+	// ≤ mean |e| always).
+	bias, ok := snaps["rptcn_serving_backtest_bias"]
+	if !ok {
+		t.Fatal("rptcn_serving_backtest_bias not registered")
+	}
+	if math.Abs(bias) > snaps["rptcn_serving_backtest_mae"] {
+		t.Fatalf("|bias| %v exceeds MAE %v", bias, snaps["rptcn_serving_backtest_mae"])
+	}
+	if bias == 0 {
+		// A real model backtest never lands on exactly zero signed error.
+		t.Fatal("bias gauge still zero after a backtest")
 	}
 	// The tail comes from the training series, so it lies inside the
 	// fitted bounds: the out-of-range ratio must be ~0.

@@ -5,14 +5,24 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /metrics      Prometheus text-format metrics
-//	GET  /v1/model     model metadata (scenario, window, screening, size)
-//	POST /v1/forecast  {"indicators": [[...],...]} → {"forecast": [...]}
+//	GET  /healthz        liveness probe (process up)
+//	GET  /readyz         readiness probe (model loaded, batcher running)
+//	GET  /metrics        Prometheus text-format metrics
+//	GET  /v1/model       model metadata (scenario, window, screening, size)
+//	POST /v1/forecast    {"indicators": [[...],...]} → {"forecast": [...]}
+//	POST /v1/observe     ground-truth ingestion for forecast-quality joins
+//	GET  /debug/quality  live forecast-quality status (JSON, ?format=html)
 //
 // Every route is instrumented through internal/obs: request counters by
 // path and status code, an in-flight gauge, per-route latency histograms,
 // and the rptcn_forecast_latency_seconds SLO histogram.
+//
+// Forecast quality is measured online by internal/quality: each served
+// forecast is remembered, and when ground truth for its target times
+// arrives — via POST /v1/observe, or implicitly when a later forecast
+// request's history overlaps them (requests that carry an entity and a
+// sample time) — the resolved errors feed rolling accuracy windows,
+// drift/mutation detectors, and SLO rules surfaced on /debug/quality.
 package server
 
 import (
@@ -24,13 +34,16 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/runlog"
 	obstrace "repro/internal/obs/trace"
+	"repro/internal/quality"
 	"repro/internal/trace"
 )
 
@@ -49,6 +62,17 @@ type Server struct {
 	resilience ResilienceConfig
 	batchCfg   BatchConfig
 	batcher    *batcher
+
+	// Online forecast-quality engine (ground-truth joins, drift and
+	// mutation detectors, SLO rules — see internal/quality).
+	engine     *quality.Engine
+	qualityCfg quality.Config
+	journal    *runlog.Run
+	reqSeq     atomic.Int64 // synthetic sample clock for t-less requests
+
+	// ready flips true once the model is loaded and the batcher is
+	// running, and false again on Close — the /readyz answer.
+	ready atomic.Bool
 
 	// Fault-tolerance plumbing: load shedding, circuit breaking, and the
 	// counters that account for every shed/degraded/recovered request.
@@ -77,6 +101,19 @@ func WithLogger(l *slog.Logger) Option {
 // (spans are collected only while t is enabled).
 func WithTracer(t *obstrace.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
+}
+
+// WithQualityConfig tunes the online quality engine (window sizes,
+// detector thresholds, SLO rules). Horizon and Registry are always taken
+// from the server's own predictor and registry.
+func WithQualityConfig(cfg quality.Config) Option {
+	return func(s *Server) { s.qualityCfg = cfg }
+}
+
+// WithJournal streams drift and SLO state transitions into the run
+// journal (alongside the training events already recorded there).
+func WithJournal(run *runlog.Run) Option {
+	return func(s *Server) { s.journal = run }
 }
 
 // New wraps a fitted predictor. It panics if p is nil.
@@ -108,6 +145,16 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// The queue holds at most MaxInFlight requests (the limiter admits no
 	// more), so enqueueing never blocks a request goroutine.
 	s.batcher = newBatcher(p, s.batchCfg, s.resilience.MaxInFlight, s.reg, s.log, s.panics)
+	// The quality engine closes the forecast→ground-truth loop. Its hot
+	// path is a non-blocking channel send, so serving latency is
+	// unaffected; the worker goroutine owns all state.
+	s.qualityCfg.Horizon = p.Cfg.Horizon
+	s.qualityCfg.Registry = s.reg
+	if s.qualityCfg.Journal == nil {
+		s.qualityCfg.Journal = s.journal
+	}
+	s.engine = quality.New(s.qualityCfg)
+	obs.RegisterBuildInfo(s.reg)
 	// Pre-register every degradation reason so the family is complete on
 	// /metrics before the first incident.
 	for _, reason := range degradeReasons {
@@ -120,18 +167,28 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// load before any work happens. /healthz and /metrics bypass the
 	// limiter so probes and scrapes keep answering under overload.
 	s.mux.HandleFunc("GET /healthz", in.wrap("/healthz", s.recovered(s.handleHealth)))
+	s.mux.HandleFunc("GET /readyz", in.wrap("/readyz", s.recovered(s.handleReady)))
 	s.mux.HandleFunc("GET /v1/model", in.wrap("/v1/model", s.recovered(s.limited(s.handleModel))))
 	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.recovered(s.limited(s.handleForecast))))
+	s.mux.HandleFunc("POST /v1/observe", in.wrap("/v1/observe", s.recovered(s.limited(s.handleObserve))))
+	s.mux.HandleFunc("GET /debug/quality", in.wrap("/debug/quality", s.recovered(s.handleQualityStatus)))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	// Method-less fallbacks keep 405 semantics for known paths (a bare
 	// catch-all would swallow wrong-method requests as 404s).
 	s.mux.HandleFunc("/v1/forecast", in.wrap("/v1/forecast", methodNotAllowed(http.MethodPost)))
+	s.mux.HandleFunc("/v1/observe", in.wrap("/v1/observe", methodNotAllowed(http.MethodPost)))
 	s.mux.HandleFunc("/healthz", in.wrap("/healthz", methodNotAllowed(http.MethodGet)))
+	s.mux.HandleFunc("/readyz", in.wrap("/readyz", methodNotAllowed(http.MethodGet)))
 	s.mux.HandleFunc("/v1/model", in.wrap("/v1/model", methodNotAllowed(http.MethodGet)))
+	s.mux.HandleFunc("/debug/quality", in.wrap("/debug/quality", methodNotAllowed(http.MethodGet)))
 	// Cardinality guard: every unregistered path lands here and is
 	// instrumented under the single route label "other", so arbitrary
 	// probing cannot mint new metric series.
 	s.mux.HandleFunc("/", in.wrap("other", s.recovered(s.handleNotFound)))
+	// Ready: the predictor carries a loaded model and the batcher's
+	// collector goroutine is running. An unfitted predictor serves
+	// metadata and probes but reports unready until a model arrives.
+	s.ready.Store(p.Model() != nil)
 	return s
 }
 
@@ -161,12 +218,14 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 // Registry returns the metrics registry the server reports into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Close stops the micro-batching collector; requests caught mid-queue
-// are answered with ErrServerClosed. Idempotent. In-flight HTTP requests
-// should be drained first (http.Server.Shutdown).
+// Close stops the micro-batching collector and the quality engine's
+// worker goroutine; requests caught mid-queue are answered with
+// ErrServerClosed and /readyz flips to 503. Idempotent. In-flight HTTP
+// requests should be drained first (http.Server.Shutdown).
 func (s *Server) Close() error {
+	s.ready.Store(false)
 	s.batcher.close()
-	return nil
+	return s.engine.Close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -211,9 +270,16 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 }
 
 // ForecastRequest is the /v1/forecast request body: raw indicator history
-// in canonical indicator order, [indicator][time].
+// in canonical indicator order, [indicator][time]. Entity and T are
+// optional quality-tracking metadata: T is the sample time (monotone
+// per-entity index) of the LAST history sample, so forecast step k
+// predicts time T+k. Requests that carry them get their forecasts
+// remembered and automatically resolved against later overlapping
+// windows ("self-join") or POST /v1/observe ground truth.
 type ForecastRequest struct {
 	Indicators [][]float64 `json:"indicators"`
+	Entity     string      `json:"entity,omitempty"`
+	T          *int64      `json:"t,omitempty"`
 }
 
 // ForecastResponse is the /v1/forecast response body. Degraded marks a
@@ -271,7 +337,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		// request already carries and track input drift vs the training
 		// bounds. Skipped on degraded/failed requests — there is nothing
 		// meaningful to backtest.
-		s.quality.observe(req.Indicators, func(h [][]float64) (f []float64, err error) {
+		sum := s.quality.observe(req.Indicators, func(h [][]float64) (f []float64, err error) {
 			defer func() {
 				if p := recover(); p != nil {
 					s.panics.Inc()
@@ -282,6 +348,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			// backtest needs no server-side lock.
 			return s.predictor.ForecastFrom(h)
 		})
+		s.feedQuality(&req, forecast, sum)
 		s.writeJSON(w, http.StatusOK, ForecastResponse{
 			Forecast: forecast,
 			Target:   targetName(s.predictor),

@@ -198,17 +198,36 @@ func clamp(v, lo, hi float64) float64 {
 // scenario ("CPU utilization increases abruptly after the 350th sampling
 // point, then maintains a high utilization").
 func GenerateWithMutation(samples, mutationAt int, seed uint64) *EntitySeries {
+	return GenerateWithMutations(samples, []int{mutationAt}, seed)
+}
+
+// GenerateWithMutations produces a single entity with deterministic
+// regime toggles at the given sample points (strictly increasing): each
+// point flips a +35-CPU-point offset on or off, so consecutive points
+// yield a high segment followed by a return to baseline — the ground
+// truth for detector validation (the segments between points are
+// stationary apart from the generator's own mild dynamics). Points at
+// or past the ends are ignored.
+func GenerateWithMutations(samples int, at []int, seed uint64) *EntitySeries {
 	cfg := GeneratorConfig{
 		Entities: 1, Kind: Machine, Samples: samples, Seed: seed,
 		MutationRate: 0.0001, BurstRate: 0.002,
 	}
 	e := Generate(cfg)[0]
-	if mutationAt <= 0 || mutationAt >= samples {
-		return e
-	}
-	// Superimpose the step: +35 CPU points after the mutation, with the
-	// coupled indicators following through the same gains as the generator.
-	for t := mutationAt; t < samples; t++ {
+	// Superimpose the steps: +35 CPU points while the offset is on, with
+	// the coupled indicators following through the generator's own gains.
+	offset := false
+	next := 0
+	for t := 0; t < samples; t++ {
+		for next < len(at) && at[next] == t {
+			if at[next] > 0 {
+				offset = !offset
+			}
+			next++
+		}
+		if !offset {
+			continue
+		}
 		cpu := clamp(e.Metrics[CPUUtilPercent][t]+35, 0.5, 100)
 		delta := (cpu - e.Metrics[CPUUtilPercent][t]) / 100
 		e.Metrics[CPUUtilPercent][t] = cpu

@@ -158,6 +158,29 @@ func TestGenerateWithMutationStepChange(t *testing.T) {
 	}
 }
 
+func TestGenerateWithMutationsToggles(t *testing.T) {
+	// Two points: offset on at 300, back off at 600.
+	e := GenerateWithMutations(900, []int{300, 600}, 9)
+	cpu := e.Series(CPUUtilPercent)
+	before := stats.Mean(cpu[200:300])
+	during := stats.Mean(cpu[300:600])
+	after := stats.Mean(cpu[650:750])
+	if during-before < 20 {
+		t.Fatalf("step up = %g, want >= 20", during-before)
+	}
+	if during-after < 20 {
+		t.Fatalf("step down = %g, want >= 20", during-after)
+	}
+	// A single point must reproduce GenerateWithMutation exactly.
+	a := GenerateWithMutation(700, 350, 9)
+	b := GenerateWithMutations(700, []int{350}, 9)
+	for i, v := range a.Series(CPUUtilPercent) {
+		if b.Series(CPUUtilPercent)[i] != v {
+			t.Fatalf("sample %d: %g != %g", i, b.Series(CPUUtilPercent)[i], v)
+		}
+	}
+}
+
 func TestMissingRateInjectsNaN(t *testing.T) {
 	e := Generate(GeneratorConfig{Entities: 1, Samples: 2000, Seed: 10, MissingRate: 0.05})[0]
 	nan := 0
