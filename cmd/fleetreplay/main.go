@@ -1,0 +1,209 @@
+// Command fleetreplay drives a running rptcnd with a multi-entity
+// synthetic workload and then validates the fleet-telemetry surfaces —
+// the smoke half of the CI fleet-smoke job, and a handy local load
+// generator for eyeballing rptcntop.
+//
+// It generates -entities synthetic container series (internal/trace,
+// deterministic by -seed), posts -requests forecasts round-robin across
+// them with a skewed repeat pattern (so real heavy hitters exist), then
+// fetches /debug/fleet and asserts the response is well-formed:
+//
+//   - request totals match what was sent
+//   - top-K tables are non-empty, descending, within K
+//   - per-entity latency quantiles are ordered (p50 ≤ p90 ≤ p99 ≤ max)
+//   - exemplars parse (le is a float or +Inf) and carry entities
+//   - when tracing is on, sampling decisions account for every trace
+//
+// Any violation exits non-zero, making the command a usable CI gate.
+//
+// Usage:
+//
+//	fleetreplay -addr http://localhost:8080 -entities 40 -requests 200
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs/sketch"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the rptcnd serving address")
+		entities = flag.Int("entities", 40, "distinct synthetic entities to replay")
+		requests = flag.Int("requests", 200, "total forecast requests to send")
+		window   = flag.Int("window", 64, "history samples per request")
+		seed     = flag.Uint64("seed", 7, "synthetic workload seed")
+		wait     = flag.Duration("wait", 60*time.Second, "how long to wait for /readyz before giving up")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fleetreplay: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Wait for the server to finish training and flip ready.
+	deadline := time.Now().Add(*wait)
+	for {
+		resp, err := client.Get(*addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("server at %s not ready after %s", *addr, *wait)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	// One synthetic series per entity; the request history is its tail.
+	series := trace.Generate(trace.GeneratorConfig{
+		Entities: *entities, Kind: trace.Container, Samples: *window + 16, Seed: *seed,
+	})
+	bodies := make([][]byte, *entities)
+	for i, e := range series {
+		hist := make([][]float64, trace.NumIndicators)
+		for j := range hist {
+			m := e.Metrics[j]
+			hist[j] = m[len(m)-*window:]
+		}
+		t := int64(1000 + i)
+		raw, err := json.Marshal(server.ForecastRequest{
+			Indicators: hist, Entity: e.ID, T: &t,
+		})
+		if err != nil {
+			fail("marshal request: %v", err)
+		}
+		bodies[i] = raw
+	}
+
+	// Skewed replay: entity i is hit proportionally more the lower its
+	// index (i*i wraparound), giving the heavy-hitter sketches real
+	// hitters to find. Deterministic, so reruns see the same top-K.
+	sent := make(map[string]int, *entities)
+	for i := 0; i < *requests; i++ {
+		idx := (i * i) % *entities
+		resp, err := client.Post(*addr+"/v1/forecast", "application/json", strings.NewReader(string(bodies[idx])))
+		if err != nil {
+			fail("forecast %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("forecast %d: status %d", i, resp.StatusCode)
+		}
+		sent[series[idx].ID]++
+	}
+	fmt.Printf("replayed %d forecasts over %d entities\n", *requests, len(sent))
+
+	// Fetch and validate the fleet view.
+	resp, err := client.Get(*addr + "/debug/fleet")
+	if err != nil {
+		fail("fetch /debug/fleet: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("/debug/fleet: status %d", resp.StatusCode)
+	}
+	var st server.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fail("decode /debug/fleet: %v", err)
+	}
+
+	var probs []string
+	addf := func(format string, args ...any) { probs = append(probs, fmt.Sprintf(format, args...)) }
+
+	if st.Fleet.Requests < uint64(*requests) {
+		addf("requests %d < replayed %d", st.Fleet.Requests, *requests)
+	}
+	for _, tk := range []struct {
+		name  string
+		items []sketch.Item
+	}{
+		{"top_by_count", st.Fleet.TopByCount},
+		{"top_by_latency_sum", st.Fleet.TopByLatency},
+	} {
+		if len(tk.items) == 0 {
+			addf("%s empty after %d requests", tk.name, *requests)
+			continue
+		}
+		if len(tk.items) > st.Fleet.K {
+			addf("%s has %d entries, K=%d", tk.name, len(tk.items), st.Fleet.K)
+		}
+		for i := 1; i < len(tk.items); i++ {
+			if tk.items[i].Weight > tk.items[i-1].Weight {
+				addf("%s not descending at %d (%g > %g)", tk.name, i, tk.items[i].Weight, tk.items[i-1].Weight)
+			}
+		}
+	}
+	// The most-replayed entity must surface in the top-K by count.
+	best, bestN := "", 0
+	for id, n := range sent {
+		if n > bestN {
+			best, bestN = id, n
+		}
+	}
+	found := false
+	for _, it := range st.Fleet.TopByCount {
+		if it.Key == best {
+			found = true
+			if it.Weight < float64(bestN) {
+				addf("top entity %s estimate %g below true count %d (Space-Saving never undercounts)", best, it.Weight, bestN)
+			}
+		}
+	}
+	if !found {
+		addf("heaviest entity %s (%d requests) missing from top-K", best, bestN)
+	}
+	for _, es := range st.Fleet.Entities {
+		q := es.Latency
+		if q.Count == 0 {
+			continue
+		}
+		if !(q.P50 <= q.P90 && q.P90 <= q.P99 && q.P99 <= q.Max) {
+			addf("entity %s quantiles not ordered: %+v", es.Entity, q)
+		}
+	}
+	if len(st.Exemplars) == 0 {
+		addf("no latency exemplars recorded")
+	}
+	for _, ex := range st.Exemplars {
+		if ex.Le != "+Inf" {
+			if _, err := strconv.ParseFloat(ex.Le, 64); err != nil {
+				addf("exemplar le %q unparseable", ex.Le)
+			}
+		}
+		if ex.Exemplar.Entity == "" {
+			addf("exemplar in bucket %s has no entity", ex.Le)
+		}
+	}
+	if ts := st.TraceSampling; ts != nil {
+		total := ts.KeptMarked + ts.KeptSlow + ts.KeptSampled + ts.Dropped
+		if total < uint64(*requests) {
+			addf("sampling decisions %d < requests %d: traces vanished silently", total, *requests)
+		}
+		fmt.Printf("trace sampling: kept %d (marked %d, slow %d, sampled %d), dropped %d\n",
+			ts.KeptMarked+ts.KeptSlow+ts.KeptSampled, ts.KeptMarked, ts.KeptSlow, ts.KeptSampled, ts.Dropped)
+	}
+
+	if len(probs) > 0 {
+		fail("fleet view malformed:\n  %s", strings.Join(probs, "\n  "))
+	}
+	fmt.Printf("fleet view OK: %d requests, top entity %s, global p99 %.4gs\n",
+		st.Fleet.Requests, st.Fleet.TopByCount[0].Key, st.Fleet.Global.P99)
+}

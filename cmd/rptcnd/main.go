@@ -15,7 +15,10 @@
 //	curl -X POST localhost:8080/v1/forecast -d '{"indicators": [[...], ...], "entity": "c1", "t": 1234}'
 //	curl -X POST localhost:8080/v1/observe -d '{"entity": "c1", "t0": 1235, "values": [42.1, 40.8]}'
 //	curl localhost:8080/debug/quality      # live accuracy, drift, and SLO status (add ?format=html)
-//	curl localhost:6060/debug/traces      # recorded span trees (with -trace)
+//	curl localhost:8080/debug/fleet        # per-entity sketches, exemplars, trace sampling (add ?format=html)
+//	curl localhost:8080/debug              # index of every diagnostic endpoint
+//	curl localhost:8080/debug/traces      # tail-sampled span journal (with -trace)
+//	go run ./cmd/rptcntop                 # live terminal ops dashboard
 //	go run ./cmd/runlog runs              # summarize the run journal
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
@@ -70,12 +73,20 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 32, "max forecasts fused into one model pass (1 disables micro-batching)")
 		maxDelay    = flag.Duration("max-batch-delay", 2*time.Millisecond, "longest a forecast waits for batch-mates before running anyway")
 		sloSpec     = flag.String("slo", "", `forecast-quality SLO rules, comma-separated (e.g. "mae<=5@256, p90_abs_err<=12")`)
+		fleetK      = flag.Int("fleet-k", 32, "heavy-hitter capacity of the per-entity fleet sketches (0 disables /debug/fleet)")
+		keepEvery   = flag.Int("trace-keep-every", 1, "tail sampling: retain 1 in N boring traces (errors/slow/degraded always kept; 1 keeps all)")
+		slowTrace   = flag.Duration("trace-slow", 250*time.Millisecond, "tail sampling: always retain traces at least this slow")
 	)
 	flag.Parse()
 	log := obs.Logger("rptcnd")
 	obs.RegisterRuntimeMetrics(obs.Default())
 	if *traceOn {
 		obstrace.Default().SetEnabled(true)
+		if *keepEvery != 1 || *slowTrace > 0 {
+			obstrace.Default().SetTailSampling(&obstrace.TailSampleConfig{
+				KeepEvery: *keepEvery, SlowThreshold: *slowTrace,
+			})
+		}
 	}
 
 	fatal := func(msg string, err error) {
@@ -105,7 +116,7 @@ func main() {
 		if err != nil {
 			fatal("load model", err)
 		}
-		serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir)
+		serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK)
 		return
 	}
 
@@ -221,11 +232,11 @@ func main() {
 	if err := journal.Close(); err != nil {
 		log.Error("run journal", "err", err)
 	}
-	serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir)
+	serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK)
 }
 
 func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig,
-	batch server.BatchConfig, sloRules []quality.Rule, runDir string) {
+	batch server.BatchConfig, sloRules []quality.Rule, runDir string, fleetK int) {
 	reg := obs.Default()
 	reg.PublishExpvar("rptcn")
 	// Pre-register the training families so /metrics shows them even for
@@ -248,7 +259,9 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 	handler := server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
 		server.WithResilience(res), server.WithBatching(batch),
 		server.WithQualityConfig(quality.Config{Rules: sloRules}),
-		server.WithJournal(journal))
+		server.WithJournal(journal),
+		server.WithFleetTelemetry(server.FleetConfig{Disabled: fleetK <= 0, K: fleetK}),
+		server.WithDebugAddr(debugAddr))
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -283,7 +296,7 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Info("serving forecasts", "addr", addr,
-		"endpoints", "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/observe, GET /debug/quality")
+		"endpoints", "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet")
 
 	select {
 	case err := <-errCh:

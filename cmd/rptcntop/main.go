@@ -1,0 +1,236 @@
+// Command rptcntop is a polling terminal dashboard for a running rptcnd:
+// the operator's single-screen answer to "is the fleet healthy right
+// now, and which machines are not". Each tick it fetches /debug/fleet
+// and /debug/quality from the serving address and renders request rate,
+// latency quantiles, breaker and degradation state, the top-K entities
+// by load/latency/errors, drift flags, SLO alarms, and tail-sampling
+// accounting.
+//
+// Usage:
+//
+//	rptcntop                          # http://localhost:8080, 2s refresh
+//	rptcntop -addr http://host:8080 -interval 1s
+//	rptcntop -once                    # one snapshot, no screen clearing (CI/scripts)
+//
+// The dashboard is read-only and stateless across restarts: everything
+// it shows comes from the two debug endpoints, so anything visible here
+// is equally available to curl and to real dashboards.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs/sketch"
+	"repro/internal/quality"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the rptcnd serving address")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+		rows     = flag.Int("rows", 10, "max entity rows shown per table")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var prev *sample
+	for {
+		cur, err := poll(client, *addr)
+		now := time.Now()
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear
+		}
+		if err != nil {
+			fmt.Printf("rptcntop: %s unreachable: %v\n", *addr, err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			render(os.Stdout, *addr, now, prev, cur, *rows)
+			prev = cur
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// sample is one polled snapshot plus the instant it was taken, so
+// successive samples yield rates.
+type sample struct {
+	at      time.Time
+	fleet   server.FleetStatus
+	quality quality.StatusReport
+	qualErr error // /debug/quality is optional; the dashboard degrades
+}
+
+func poll(c *http.Client, base string) (*sample, error) {
+	s := &sample{at: time.Now()}
+	if err := getJSON(c, base+"/debug/fleet", &s.fleet); err != nil {
+		return nil, err
+	}
+	s.qualErr = getJSON(c, base+"/debug/quality", &s.quality)
+	return s, nil
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render writes the dashboard for the current sample; prev (may be nil)
+// supplies the baseline for request/error rates.
+func render(w io.Writer, addr string, now time.Time, prev, cur *sample, rows int) {
+	f := &cur.fleet
+	fmt.Fprintf(w, "rptcntop · %s · %s\n", addr, now.Format("15:04:05"))
+
+	reqRate, errRate := "-", "-"
+	if prev != nil && cur.at.After(prev.at) {
+		dt := cur.at.Sub(prev.at).Seconds()
+		reqRate = fmt.Sprintf("%.1f/s", float64(f.Fleet.Requests-prev.fleet.Fleet.Requests)/dt)
+		errRate = fmt.Sprintf("%.1f/s", float64(f.Fleet.Errors-prev.fleet.Fleet.Errors)/dt)
+	}
+	breaker := "closed"
+	if f.BreakerOpen {
+		breaker = "OPEN"
+	}
+	g := f.Fleet.Global
+	fmt.Fprintf(w, "req %s (total %d) · err %s (total %d) · p50 %s · p99 %s · max %s · breaker %s\n",
+		reqRate, f.Fleet.Requests, errRate, f.Fleet.Errors,
+		fmtDur(g.P50), fmtDur(g.P99), fmtDur(g.Max), breaker)
+	fmt.Fprintf(w, "drift: error=%s input=%s", flag4(f.ErrorDrift), flag4(f.InputDrift))
+	if ts := f.TraceSampling; ts != nil {
+		total := ts.KeptMarked + ts.KeptSlow + ts.KeptSampled + ts.Dropped
+		fmt.Fprintf(w, " · traces kept %d/%d (marked %d, slow %d)",
+			ts.KeptMarked+ts.KeptSlow+ts.KeptSampled, total, ts.KeptMarked, ts.KeptSlow)
+	}
+	fmt.Fprintln(w)
+
+	// Active alarms first: an operator scanning the top of the screen
+	// must see every breach without scrolling.
+	var alarms []string
+	if cur.qualErr == nil {
+		for _, r := range cur.quality.SLO {
+			if r.State == "breach" {
+				alarms = append(alarms, fmt.Sprintf("SLO BREACH %s (value %.4g over %d pairs)", r.Rule, r.Value, r.Count))
+			}
+		}
+	}
+	for _, d := range []struct{ name, state string }{
+		{"error-drift", f.ErrorDrift}, {"input-drift", f.InputDrift},
+	} {
+		if d.state == "alarm" || d.state == "warn" {
+			alarms = append(alarms, fmt.Sprintf("DRIFT %s: %s", d.name, d.state))
+		}
+	}
+	if f.BreakerOpen {
+		alarms = append(alarms, "CIRCUIT BREAKER OPEN: forecasts degrading to fallback")
+	}
+	if len(alarms) > 0 {
+		fmt.Fprintf(w, "\n!! %s\n", strings.Join(alarms, "\n!! "))
+	}
+
+	fmt.Fprintf(w, "\ntop entities by requests (K=%d, showing %d)\n", f.Fleet.K, min(rows, len(f.Fleet.Entities)))
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s %10s\n", "entity", "reqs≤", "±err", "p50", "p99", "max")
+	for i, e := range f.Fleet.Entities {
+		if i >= rows {
+			break
+		}
+		fmt.Fprintf(w, "%-20s %10.0f %10.0f %10s %10s %10s\n",
+			clip(e.Entity, 20), e.Requests, e.RequestsErr,
+			fmtDur(e.Latency.P50), fmtDur(e.Latency.P99), fmtDur(e.Latency.Max))
+	}
+	topTable(w, "top by latency sum", f.Fleet.TopByLatency, rows, func(v float64) string {
+		return fmtDur(v)
+	})
+	topTable(w, "top by errors", f.Fleet.TopByErrors, rows, func(v float64) string {
+		return fmt.Sprintf("%.0f", v)
+	})
+
+	if len(f.Exemplars) > 0 {
+		fmt.Fprintf(w, "\nlatency exemplars (le → trace)\n")
+		for _, ex := range f.Exemplars {
+			fmt.Fprintf(w, "  ≤%-8s %-10s entity=%s trace=%s\n",
+				ex.Le, fmtDur(ex.Exemplar.Value), orDash(ex.Exemplar.Entity), orDash(ex.Exemplar.TraceID))
+		}
+	}
+
+	if cur.qualErr == nil && len(cur.quality.SLO) > 0 {
+		fmt.Fprintf(w, "\nSLO rules\n")
+		sloSorted := append([]quality.RuleStatus(nil), cur.quality.SLO...)
+		sort.SliceStable(sloSorted, func(i, j int) bool { return sloSorted[i].State > sloSorted[j].State })
+		for _, r := range sloSorted {
+			fmt.Fprintf(w, "  [%-7s] %s = %.4g (%d pairs)\n", r.State, r.Rule, r.Value, r.Count)
+		}
+	}
+}
+
+func topTable(w io.Writer, title string, items []sketch.Item, rows int, fmtW func(float64) string) {
+	if len(items) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s\n", title)
+	for i, it := range items {
+		if i >= rows {
+			break
+		}
+		fmt.Fprintf(w, "  %-20s %12s ±%s\n", clip(it.Key, 20), fmtW(it.Weight), fmtW(it.Err))
+	}
+}
+
+func fmtDur(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "0"
+	case seconds < 1e-3:
+		return fmt.Sprintf("%.0fµs", seconds*1e6)
+	case seconds < 1:
+		return fmt.Sprintf("%.1fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", seconds)
+	}
+}
+
+// flag4 renders a drift state compactly, uppercasing anything abnormal.
+func flag4(state string) string {
+	if state == "" {
+		return "-"
+	}
+	if state != "ok" && state != "warmup" {
+		return strings.ToUpper(state)
+	}
+	return state
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/sketch"
+	"repro/internal/quality"
+	"repro/internal/server"
+)
+
+func fakeSample(at time.Time, requests, errors uint64) *sample {
+	ts := server.FleetStatus{
+		Fleet: sketch.Report{
+			Requests: requests, Errors: errors, K: 8,
+			TopByCount:   []sketch.Item{{Key: "m_1", Weight: 40}, {Key: "m_2", Weight: 12}},
+			TopByLatency: []sketch.Item{{Key: "m_2", Weight: 0.9}},
+			TopByErrors:  []sketch.Item{{Key: "m_7", Weight: 3}},
+			Global:       sketch.Quantiles{Count: requests, P50: 0.002, P90: 0.004, P99: 0.02, Max: 0.5},
+			Entities: []sketch.EntityStats{
+				{Entity: "m_1", Requests: 40, Latency: sketch.Quantiles{Count: 40, P50: 0.001, P99: 0.01, Max: 0.02}},
+			},
+		},
+		Exemplars: []obs.BucketExemplar{
+			{Le: "0.005", Exemplar: obs.Exemplar{Value: 0.002, TraceID: "t0000000000000005", Entity: "m_1"}},
+		},
+		ErrorDrift:  "alarm",
+		InputDrift:  "ok",
+		BreakerOpen: true,
+	}
+	return &sample{
+		at:    at,
+		fleet: ts,
+		quality: quality.StatusReport{
+			SLO: []quality.RuleStatus{
+				{Rule: "mae<=5@256", State: "breach", Value: 7.2, Count: 256},
+				{Rule: "p90_abs_err<=12", State: "ok", Value: 3.1, Count: 256},
+			},
+		},
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	prev := fakeSample(t0, 100, 2)
+	cur := fakeSample(t0.Add(2*time.Second), 150, 4)
+
+	var b strings.Builder
+	render(&b, "http://localhost:8080", cur.at, prev, cur, 10)
+	out := b.String()
+
+	for _, want := range []string{
+		"req 25.0/s",   // (150-100)/2s
+		"err 1.0/s",    // (4-2)/2s
+		"breaker OPEN", // breaker state surfaced
+		"ALARM",        // error drift alarm flag
+		"SLO BREACH mae<=5@256",
+		"CIRCUIT BREAKER OPEN",
+		"m_1",               // top entity table
+		"t0000000000000005", // exemplar trace id
+		"2.0ms",             // exemplar latency formatting
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFirstSampleNoRates(t *testing.T) {
+	cur := fakeSample(time.Now(), 10, 0)
+	var b strings.Builder
+	render(&b, "x", cur.at, nil, cur, 10)
+	if !strings.Contains(b.String(), "req - ") {
+		t.Fatalf("first sample should show dashes for rates:\n%s", b.String())
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {0.000002, "2µs"}, {0.0002, "200µs"}, {0.0025, "2.5ms"}, {1.5, "1.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.in); got != c.want {
+			t.Errorf("fmtDur(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

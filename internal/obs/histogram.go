@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Histogram counts observations into cumulative buckets and tracks count
@@ -25,14 +26,20 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+
+	// exemplars holds the most recent exemplar per bucket (+Inf last),
+	// published with lock-free atomic stores so exemplar capture can
+	// never block the recording path (see ObserveExemplar).
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(uppers []float64) *Histogram {
 	return &Histogram{
-		uppers: uppers,
-		counts: make([]uint64, len(uppers)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
+		uppers:    uppers,
+		counts:    make([]uint64, len(uppers)+1),
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uppers)+1),
 	}
 }
 
@@ -97,7 +104,10 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	idx := sort.SearchFloat64s(h.uppers, v) // first bucket with upper >= v
+	h.observeIdx(sort.SearchFloat64s(h.uppers, v), v)
+}
+
+func (h *Histogram) observeIdx(idx int, v float64) {
 	h.mu.Lock()
 	h.counts[idx]++
 	h.count++
@@ -109,6 +119,51 @@ func (h *Histogram) Observe(v float64) {
 		h.max = v
 	}
 	h.mu.Unlock()
+}
+
+// Exemplar links one recorded observation to the trace and entity that
+// produced it — the breadcrumb from a p99 bucket straight to a span in
+// /debug/traces.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id,omitempty"`
+	Entity  string  `json:"entity,omitempty"`
+}
+
+// BucketExemplar pairs a bucket upper bound (rendered, so "+Inf" stays
+// JSON-safe) with its most recent exemplar.
+type BucketExemplar struct {
+	Le       string   `json:"le"`
+	Exemplar Exemplar `json:"exemplar"`
+}
+
+// ObserveExemplar records one value and attaches an exemplar to its
+// bucket. The exemplar publish is a single atomic pointer store — no
+// lock, no retry loop — so exemplar capture can never block or slow the
+// recording path, and readers (Exemplars, /debug/fleet) never block a
+// writer either.
+func (h *Histogram) ObserveExemplar(v float64, traceID, entity string) {
+	idx := sort.SearchFloat64s(h.uppers, v)
+	h.exemplars[idx].Store(&Exemplar{Value: v, TraceID: traceID, Entity: entity})
+	h.observeIdx(idx, v)
+}
+
+// Exemplars returns the most recent exemplar of every bucket that has
+// one, in ascending bucket order. Lock-free.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i := range h.exemplars {
+		ex := h.exemplars[i].Load()
+		if ex == nil {
+			continue
+		}
+		upper := "+Inf"
+		if i < len(h.uppers) {
+			upper = formatFloat(h.uppers[i])
+		}
+		out = append(out, BucketExemplar{Le: upper, Exemplar: *ex})
+	}
+	return out
 }
 
 // Count returns the number of observations.

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition hygiene: a self-contained promlint-style checker for the
+// Prometheus text format the registry renders. It exists so a test can
+// pin every metric the server registers against the rules a real
+// Prometheus (and its promlint tool) enforces, instead of discovering
+// scrape failures in production:
+//
+//   - metric and label names match the allowed grammar
+//   - every sample belongs to a # TYPE-declared family, declared once,
+//     with HELP (when present) preceding TYPE
+//   - counters end in _total; non-counters never do
+//   - no family name ends in the reserved _bucket/_sum/_count suffixes
+//   - histograms render buckets in ascending le order with
+//     non-decreasing cumulative counts, always include the +Inf bucket,
+//     and follow with _sum then _count, where _count equals the +Inf
+//     bucket
+//   - the "le" label appears only on histogram _bucket samples
+//   - no duplicate series, every value parses
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Lint renders the registry and checks the output, returning one
+// message per problem (empty means clean).
+func (r *Registry) Lint() []string {
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		return []string{fmt.Sprintf("render: %v", err)}
+	}
+	return LintExposition(&buf)
+}
+
+// histSeries accumulates one histogram series' samples for ordering and
+// cumulativity checks.
+type histSeries struct {
+	les        []string  // le values in encounter order
+	counts     []float64 // cumulative bucket counts in encounter order
+	sumSeen    bool
+	countSeen  bool
+	countValue float64
+	badOrder   bool // a bucket arrived after _sum/_count
+}
+
+// LintExposition checks one rendered exposition document.
+func LintExposition(r io.Reader) []string {
+	var probs []string
+	addf := func(format string, args ...any) { probs = append(probs, fmt.Sprintf(format, args...)) }
+
+	types := map[string]string{}      // family → type
+	helpSeen := map[string]bool{}     // family → HELP emitted
+	sampleSeen := map[string]bool{}   // family → at least one sample line
+	series := map[string]bool{}       // name+sorted-labels → seen
+	hists := map[string]*histSeries{} // histogram family + base labels → state
+	var histOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, ok := parseComment(line)
+			if !ok {
+				addf("malformed comment line: %q", line)
+				continue
+			}
+			switch kind {
+			case "HELP":
+				if helpSeen[name] {
+					addf("metric %q: duplicate HELP", name)
+				}
+				if types[name] != "" {
+					addf("metric %q: HELP after TYPE", name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				typ := line[strings.LastIndex(line, " ")+1:]
+				if types[name] != "" {
+					addf("metric %q: duplicate TYPE", name)
+				}
+				if sampleSeen[name] {
+					addf("metric %q: TYPE after samples", name)
+				}
+				types[name] = typ
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("metric %q: unknown type %q", name, typ)
+				}
+				if !metricNameRE.MatchString(name) {
+					addf("metric name %q invalid", name)
+				}
+				switch {
+				case typ == "counter" && !strings.HasSuffix(name, "_total"):
+					addf("counter %q should have the _total suffix", name)
+				case typ != "counter" && strings.HasSuffix(name, "_total"):
+					addf("non-counter %q must not have the _total suffix", name)
+				}
+				for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+					if strings.HasSuffix(name, suffix) {
+						addf("metric %q uses reserved suffix %s", name, suffix)
+					}
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("%v", err)
+			continue
+		}
+		fam, sub := baseFamily(name, types)
+		if types[fam] == "" {
+			addf("sample %q has no TYPE declaration", name)
+			continue
+		}
+		sampleSeen[fam] = true
+		if types[fam] == "histogram" != (sub != "") {
+			if sub != "" {
+				addf("series %q: %s sample on non-histogram family %q", name, sub, fam)
+			} else {
+				addf("histogram %q: bare sample without _bucket/_sum/_count", fam)
+			}
+			continue
+		}
+
+		var le string
+		var rest []string
+		for _, l := range labels {
+			k := l[:strings.Index(l, "=")]
+			if !labelNameRE.MatchString(k) || strings.HasPrefix(k, "__") {
+				addf("series %q: invalid label name %q", name, k)
+			}
+			if k == "le" && sub == "_bucket" {
+				le = l[strings.Index(l, "=")+2 : len(l)-1]
+				continue
+			}
+			if k == "le" {
+				addf("series %q: reserved label \"le\" outside histogram buckets", name)
+			}
+			rest = append(rest, l)
+		}
+		sort.Strings(rest)
+		key := name + "{" + strings.Join(rest, ",") + "}"
+		if sub == "_bucket" {
+			key += `{le=` + le + `}`
+		}
+		if series[key] {
+			addf("duplicate series %s", key)
+		}
+		series[key] = true
+
+		if types[fam] == "histogram" {
+			hkey := fam + "{" + strings.Join(rest, ",") + "}"
+			h := hists[hkey]
+			if h == nil {
+				h = &histSeries{}
+				hists[hkey] = h
+				histOrder = append(histOrder, hkey)
+			}
+			switch sub {
+			case "_bucket":
+				if le == "" {
+					addf("series %q: bucket without le label", name)
+				}
+				if h.sumSeen || h.countSeen {
+					h.badOrder = true
+				}
+				h.les = append(h.les, le)
+				h.counts = append(h.counts, value)
+			case "_sum":
+				h.sumSeen = true
+			case "_count":
+				if !h.sumSeen {
+					h.badOrder = true
+				}
+				h.countSeen = true
+				h.countValue = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("read: %v", err)
+	}
+
+	for _, hkey := range histOrder {
+		h := hists[hkey]
+		if h.badOrder {
+			addf("histogram %s: samples out of order (want buckets, _sum, _count)", hkey)
+		}
+		if !h.sumSeen || !h.countSeen {
+			addf("histogram %s: missing _sum or _count", hkey)
+		}
+		if len(h.les) == 0 || h.les[len(h.les)-1] != "+Inf" {
+			addf("histogram %s: missing or misplaced +Inf bucket", hkey)
+			continue
+		}
+		prev := -1.0
+		prevLe := ""
+		for i, le := range h.les {
+			bound, err := parseLe(le)
+			if err != nil {
+				addf("histogram %s: bad le %q", hkey, le)
+				continue
+			}
+			if i > 0 {
+				if pb, _ := parseLe(prevLe); bound <= pb {
+					addf("histogram %s: le %q not above %q", hkey, le, prevLe)
+				}
+			}
+			if h.counts[i] < prev {
+				addf("histogram %s: bucket counts not cumulative at le=%q", hkey, le)
+			}
+			prev = h.counts[i]
+			prevLe = le
+		}
+		if h.countSeen && h.countValue != h.counts[len(h.counts)-1] {
+			addf("histogram %s: _count %v != +Inf bucket %v", hkey, h.countValue, h.counts[len(h.counts)-1])
+		}
+	}
+	return probs
+}
+
+func parseComment(line string) (kind, name string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", false
+	}
+	return fields[1], fields[2], true
+}
+
+// parseSample splits `name{labels} value` into parts; labels come back
+// as raw `k="v"` strings.
+func parseSample(line string) (name string, labels []string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			// Scan the quoted value honoring backslash escapes.
+			j := eq + 2
+			for j < len(rest) {
+				if rest[j] == '\\' {
+					j += 2
+					continue
+				}
+				if rest[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(rest) {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels = append(labels, rest[:j+1])
+			rest = rest[j+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, 0, fmt.Errorf("malformed label block in %q", line)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("missing value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = parseLe(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", fields[0], line)
+	}
+	if !metricNameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, labels, value, nil
+}
+
+func parseLe(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// baseFamily maps a sample name to its declared family: histogram
+// sub-series (_bucket/_sum/_count) fold into the base family when one
+// is declared as a histogram.
+func baseFamily(name string, types map[string]string) (fam, sub string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			base := strings.TrimSuffix(name, suffix)
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base, suffix
+			}
+		}
+	}
+	return name, ""
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(t *testing.T, doc string) []string {
+	t.Helper()
+	return LintExposition(strings.NewReader(doc))
+}
+
+func wantProblem(t *testing.T, probs []string, substr string) {
+	t.Helper()
+	for _, p := range probs {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Fatalf("no problem containing %q in %v", substr, probs)
+}
+
+func TestLintCleanDocument(t *testing.T) {
+	doc := `# HELP rptcn_requests_total Requests served.
+# TYPE rptcn_requests_total counter
+rptcn_requests_total{route="/v1/forecast"} 12
+# HELP rptcn_latency_seconds Latency.
+# TYPE rptcn_latency_seconds histogram
+rptcn_latency_seconds_bucket{le="0.01"} 3
+rptcn_latency_seconds_bucket{le="0.1"} 8
+rptcn_latency_seconds_bucket{le="+Inf"} 9
+rptcn_latency_seconds_sum 0.42
+rptcn_latency_seconds_count 9
+# TYPE rptcn_up gauge
+rptcn_up 1
+`
+	if probs := lintString(t, doc); len(probs) != 0 {
+		t.Fatalf("clean document flagged: %v", probs)
+	}
+}
+
+func TestLintCounterSuffix(t *testing.T) {
+	probs := lintString(t, "# TYPE rptcn_requests counter\nrptcn_requests 1\n")
+	wantProblem(t, probs, "should have the _total suffix")
+
+	probs = lintString(t, "# TYPE rptcn_queue_depth_total gauge\nrptcn_queue_depth_total 1\n")
+	wantProblem(t, probs, "must not have the _total suffix")
+}
+
+func TestLintReservedSuffixes(t *testing.T) {
+	probs := lintString(t, "# TYPE rptcn_items_count gauge\nrptcn_items_count 1\n")
+	wantProblem(t, probs, "reserved suffix _count")
+}
+
+func TestLintMissingType(t *testing.T) {
+	probs := lintString(t, "rptcn_mystery 4\n")
+	wantProblem(t, probs, "no TYPE declaration")
+}
+
+func TestLintHistogramShape(t *testing.T) {
+	// Missing +Inf bucket.
+	probs := lintString(t, `# TYPE h histogram
+h_bucket{le="0.1"} 2
+h_sum 0.2
+h_count 2
+`)
+	wantProblem(t, probs, "missing or misplaced +Inf")
+
+	// Non-ascending le.
+	probs = lintString(t, `# TYPE h histogram
+h_bucket{le="0.5"} 2
+h_bucket{le="0.1"} 2
+h_bucket{le="+Inf"} 2
+h_sum 0.2
+h_count 2
+`)
+	wantProblem(t, probs, "not above")
+
+	// Non-cumulative counts.
+	probs = lintString(t, `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="0.5"} 3
+h_bucket{le="+Inf"} 5
+h_sum 0.2
+h_count 5
+`)
+	wantProblem(t, probs, "not cumulative")
+
+	// _count disagrees with the +Inf bucket.
+	probs = lintString(t, `# TYPE h histogram
+h_bucket{le="0.1"} 2
+h_bucket{le="+Inf"} 4
+h_sum 0.2
+h_count 7
+`)
+	wantProblem(t, probs, "_count 7 != +Inf bucket 4")
+
+	// _sum/_count before the buckets.
+	probs = lintString(t, `# TYPE h histogram
+h_sum 0.2
+h_count 2
+h_bucket{le="+Inf"} 2
+`)
+	wantProblem(t, probs, "out of order")
+}
+
+func TestLintDuplicateSeries(t *testing.T) {
+	probs := lintString(t, `# TYPE c_total counter
+c_total{a="1"} 1
+c_total{a="1"} 2
+`)
+	wantProblem(t, probs, "duplicate series")
+}
+
+func TestLintReservedLeLabel(t *testing.T) {
+	probs := lintString(t, `# TYPE g gauge
+g{le="0.5"} 1
+`)
+	wantProblem(t, probs, `reserved label "le"`)
+}
+
+func TestLintEscapedLabelValues(t *testing.T) {
+	// Escaped quotes and backslashes inside label values must parse.
+	doc := `# TYPE c_total counter
+c_total{path="a\"b\\c"} 3
+`
+	if probs := lintString(t, doc); len(probs) != 0 {
+		t.Fatalf("escaped label value flagged: %v", probs)
+	}
+}
+
+// TestLintRegistryDefaults is the hygiene pin: everything the obs
+// package itself registers — counters, gauges, histograms, runtime
+// metrics — must render promlint-clean.
+func TestLintRegistryDefaults(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	r.Counter("rptcn_events_total", "Events.").Add(3)
+	r.Gauge("rptcn_depth", "Depth.").Set(2)
+	h := r.Histogram("rptcn_lat_seconds", "Latency.", nil)
+	h.Observe(0.004)
+	h.ObserveExemplar(0.2, "t1", "m_1")
+	r.Counter("rptcn_hits_total", "Hits.", L("route", `/x"y\z`)).Add(1)
+	if probs := r.Lint(); len(probs) != 0 {
+		t.Fatalf("registry output not promlint-clean:\n%s", strings.Join(probs, "\n"))
+	}
+}

@@ -54,15 +54,24 @@ func RegisterRuntimeMetrics(r *Registry) {
 	goroutines := r.Gauge("rptcn_go_goroutines", "Current number of goroutines.")
 	heapAlloc := r.Gauge("rptcn_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
 	heapSys := r.Gauge("rptcn_go_heap_sys_bytes", "Heap memory obtained from the OS.")
-	gcPause := r.Gauge("rptcn_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
-	gcRuns := r.Gauge("rptcn_go_gc_runs_total", "Completed GC cycles.")
+	// The cumulative GC stats are true counters (a _total-suffixed gauge
+	// is a promlint violation); the collector feeds them deltas against
+	// the runtime's monotone totals.
+	gcPause := r.Counter("rptcn_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+	gcRuns := r.Counter("rptcn_go_gc_runs_total", "Completed GC cycles.")
+	var gcMu sync.Mutex // concurrent scrapes run collectors concurrently
+	var lastPause, lastRuns float64
 	r.RegisterCollector(func() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		goroutines.Set(float64(runtime.NumGoroutine()))
 		heapAlloc.Set(float64(ms.HeapAlloc))
 		heapSys.Set(float64(ms.HeapSys))
-		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
-		gcRuns.Set(float64(ms.NumGC))
+		gcMu.Lock()
+		pause, runs := float64(ms.PauseTotalNs)/1e9, float64(ms.NumGC)
+		gcPause.Add(pause - lastPause)
+		gcRuns.Add(runs - lastRuns)
+		lastPause, lastRuns = pause, runs
+		gcMu.Unlock()
 	})
 }

@@ -1,0 +1,80 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The fleet bench: Record cost and live sketch footprint as the number
+// of distinct entities grows. The headline claim is the flat
+// sketch_bytes column — O(K) memory at 100, 2000, and 8000 entities —
+// with Record staying well under a microsecond, i.e. noise against a
+// millisecond-scale forecast.
+func BenchmarkFleetRecord(b *testing.B) {
+	for _, entities := range []int{100, 2000, 8000} {
+		b.Run(fmt.Sprintf("entities=%d", entities), func(b *testing.B) {
+			f := NewFleet(Config{K: 32, Compression: 64})
+			names := make([]string, entities)
+			for i := range names {
+				names[i] = fmt.Sprintf("m_%d", i)
+			}
+			rng := lcg(1)
+			idx := make([]int, 8192)
+			lat := make([]float64, 8192)
+			for i := range idx {
+				idx[i] = int(rng.float() * rng.float() * float64(entities))
+				lat[i] = 0.001 + rng.float()*0.02
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i & 8191
+				f.Record(names[idx[j]], lat[j], j&63 == 0)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(f.Footprint()), "sketch_bytes")
+		})
+	}
+}
+
+func BenchmarkFleetReport(b *testing.B) {
+	f := NewFleet(Config{K: 32, Compression: 64})
+	feedFleet(f, 2000, 100000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Report()
+	}
+}
+
+func BenchmarkTDigestAdd(b *testing.B) {
+	d := NewTDigest(64)
+	rng := lcg(2)
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = rng.float() * 0.05
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(vals[i&8191])
+	}
+}
+
+func BenchmarkSpaceSavingAdd(b *testing.B) {
+	s := NewSpaceSaving(32)
+	names := make([]string, 4096)
+	for i := range names {
+		names[i] = fmt.Sprintf("m_%d", i)
+	}
+	rng := lcg(4)
+	idx := make([]int, 8192)
+	for i := range idx {
+		idx[i] = int(rng.float() * rng.float() * 4096)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(names[idx[i&8191]], 1)
+	}
+}

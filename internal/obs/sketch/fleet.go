@@ -1,0 +1,184 @@
+package sketch
+
+import "sync"
+
+// Config tunes a Fleet.
+type Config struct {
+	// K is the heavy-hitter capacity: how many entities are monitored
+	// per dimension and how many get their own latency digest
+	// (default 32).
+	K int
+	// Compression is the t-digest δ for the global and per-entity
+	// latency sketches (default 64).
+	Compression float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.K <= 0 {
+		c.K = 32
+	}
+	if c.Compression <= 0 {
+		c.Compression = 64
+	}
+}
+
+// Fleet is the concurrency-safe telemetry aggregator the serving path
+// records every request into: three Space-Saving sketches rank entities
+// by request count, latency sum, and error count; a global t-digest
+// tracks the full latency distribution; and each entity currently
+// monitored by the request-count sketch carries its own latency digest.
+// An entity's digest is dropped the moment the sketch evicts it, so
+// total memory is O(K·δ) no matter how many distinct entities the fleet
+// has — the cardinality-safety the per-entity label approach lacks.
+//
+// Record is a single uncontended mutex plus amortized-O(1) sketch
+// updates (~100 ns), so it is safe to call on the serving hot path.
+// All reads (Report) are deterministic for a fixed Record order.
+type Fleet struct {
+	mu  sync.Mutex
+	cfg Config
+
+	byCount   *SpaceSaving
+	byLatency *SpaceSaving
+	byError   *SpaceSaving
+	digests   map[string]*TDigest // latency digests for byCount-monitored entities
+	global    *TDigest
+
+	requests uint64
+	errors   uint64
+}
+
+// NewFleet returns an empty aggregator.
+func NewFleet(cfg Config) *Fleet {
+	cfg.fillDefaults()
+	return &Fleet{
+		cfg:       cfg,
+		byCount:   NewSpaceSaving(cfg.K),
+		byLatency: NewSpaceSaving(cfg.K),
+		byError:   NewSpaceSaving(cfg.K),
+		digests:   make(map[string]*TDigest, cfg.K),
+		global:    NewTDigest(cfg.Compression),
+	}
+}
+
+// Record folds one served request into the sketches. An empty entity is
+// recorded as "_none" so anonymous traffic stays visible.
+func (f *Fleet) Record(entity string, latencySeconds float64, isError bool) {
+	if entity == "" {
+		entity = "_none"
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.requests++
+	if evicted := f.byCount.Add(entity, 1); evicted != "" {
+		delete(f.digests, evicted)
+	}
+	f.byLatency.Add(entity, latencySeconds)
+	if isError {
+		f.errors++
+		f.byError.Add(entity, 1)
+	}
+	f.global.Add(latencySeconds)
+	d := f.digests[entity]
+	if d == nil {
+		d = NewTDigest(f.cfg.Compression)
+		f.digests[entity] = d
+	}
+	d.Add(latencySeconds)
+}
+
+// Quantiles is a fixed set of latency quantiles in seconds.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func quantilesOf(d *TDigest) Quantiles {
+	if d.Count() == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Count: d.Count(),
+		P50:   d.Quantile(0.50),
+		P90:   d.Quantile(0.90),
+		P99:   d.Quantile(0.99),
+		Max:   d.Max(),
+	}
+}
+
+// EntityStats is one monitored entity's telemetry.
+type EntityStats struct {
+	Entity string `json:"entity"`
+	// Requests is the Space-Saving estimate (true ≤ Requests ≤
+	// true + RequestsErr).
+	Requests    float64 `json:"requests"`
+	RequestsErr float64 `json:"requests_err,omitempty"`
+	// Latency covers only the requests observed while the entity was
+	// monitored (its digest resets if it is evicted and re-enters).
+	Latency Quantiles `json:"latency"`
+}
+
+// Report is a deterministic point-in-time fleet snapshot.
+type Report struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	K        int    `json:"k"`
+
+	// Heavy hitters per dimension, descending weight, ties by key.
+	TopByCount   []Item `json:"top_by_count"`
+	TopByLatency []Item `json:"top_by_latency_sum"`
+	TopByErrors  []Item `json:"top_by_errors"`
+
+	Global Quantiles `json:"global_latency"`
+	// Entities carries per-entity latency quantiles for every
+	// currently monitored entity, in TopByCount order.
+	Entities []EntityStats `json:"entities"`
+}
+
+// Report snapshots the sketches. Safe to call concurrently with Record.
+func (f *Fleet) Report() Report {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rep := Report{
+		Requests:     f.requests,
+		Errors:       f.errors,
+		K:            f.cfg.K,
+		TopByCount:   f.byCount.TopK(),
+		TopByLatency: f.byLatency.TopK(),
+		TopByErrors:  f.byError.TopK(),
+		Global:       quantilesOf(f.global),
+	}
+	for _, it := range rep.TopByCount {
+		es := EntityStats{Entity: it.Key, Requests: it.Weight, RequestsErr: it.Err}
+		if d := f.digests[it.Key]; d != nil {
+			es.Latency = quantilesOf(d)
+		}
+		rep.Entities = append(rep.Entities, es)
+	}
+	return rep
+}
+
+// Footprint estimates the sketches' live memory in bytes — the number
+// the fleet bench asserts stays flat as entity count grows.
+func (f *Fleet) Footprint() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, s := range []*SpaceSaving{f.byCount, f.byLatency, f.byError} {
+		for _, it := range s.entries {
+			n += len(it.Key) + 16 // weight+err
+		}
+		n += len(s.entries) * 32 // map entry + header overhead, approximate
+	}
+	digest := func(d *TDigest) int {
+		return 16*cap(d.means) + 8*cap(d.buf) + 48
+	}
+	n += digest(f.global)
+	for k, d := range f.digests {
+		n += len(k) + digest(d)
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package sketch
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// feedFleet streams a deterministic workload of n requests over
+// `entities` distinct entities: half the traffic concentrates on three
+// hot entities (m_0 ≻ m_1 ≻ m_2 — true heavy hitters, above the
+// total/K Space-Saving threshold), the rest spreads uniformly.
+func feedFleet(f *Fleet, entities, n int, seed uint64) {
+	rng := lcg(seed)
+	for i := 0; i < n; i++ {
+		var idx int
+		switch p := rng.float(); {
+		case p < 0.25:
+			idx = 0
+		case p < 0.40:
+			idx = 1
+		case p < 0.50:
+			idx = 2
+		default:
+			idx = rng.intn(entities)
+		}
+		lat := 0.001 + rng.float()*0.02
+		if idx == 0 {
+			lat *= 4 // entity m_0 is the slow offender
+		}
+		f.Record(fmt.Sprintf("m_%d", idx), lat, rng.intn(50) == 0)
+	}
+}
+
+func TestFleetReportDeterministicForFixedOrder(t *testing.T) {
+	run := func() Report {
+		f := NewFleet(Config{K: 16, Compression: 64})
+		feedFleet(f, 500, 40000, 21)
+		return f.Report()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same input order produced different reports:\n%+v\n%+v", a, b)
+	}
+	if a.Requests != 40000 {
+		t.Fatalf("requests = %d", a.Requests)
+	}
+	if len(a.TopByCount) != 16 || len(a.Entities) != 16 {
+		t.Fatalf("top-K sizes: count=%d entities=%d, want 16", len(a.TopByCount), len(a.Entities))
+	}
+	if a.TopByCount[0].Key != "m_0" {
+		t.Fatalf("heaviest entity = %s, want m_0", a.TopByCount[0].Key)
+	}
+	if a.TopByLatency[0].Key != "m_0" {
+		t.Fatalf("top latency-sum entity = %s, want m_0 (4x slower)", a.TopByLatency[0].Key)
+	}
+	// The slow entity's p99 must exceed the global p99 of the mixed
+	// stream — the "which machine is slow" answer.
+	if a.Entities[0].Latency.P99 <= a.Global.P99 {
+		t.Fatalf("m_0 p99 %v not above global p99 %v", a.Entities[0].Latency.P99, a.Global.P99)
+	}
+	if a.Global.Count != 40000 {
+		t.Fatalf("global count = %d", a.Global.Count)
+	}
+}
+
+func TestFleetMemoryFlatAcrossEntityCount(t *testing.T) {
+	// The O(K) claim: footprint must not grow with distinct-entity
+	// count. 2000 vs 8000 entities over the same request volume.
+	foot := func(entities int) int {
+		f := NewFleet(Config{K: 32, Compression: 64})
+		feedFleet(f, entities, 120000, 5)
+		if len(f.digests) > 32 {
+			t.Fatalf("%d per-entity digests for K=32", len(f.digests))
+		}
+		return f.Footprint()
+	}
+	small, large := foot(2000), foot(8000)
+	// Identical request volume, 4x the entities: allow only key-length
+	// noise (monitored keys differ), not proportional growth.
+	if float64(large) > 1.25*float64(small) {
+		t.Fatalf("footprint grew with entity count: %d bytes @2000 vs %d bytes @8000", small, large)
+	}
+}
+
+func TestFleetEvictionDropsDigest(t *testing.T) {
+	f := NewFleet(Config{K: 2, Compression: 64})
+	f.Record("a", 0.01, false)
+	f.Record("a", 0.01, false)
+	f.Record("b", 0.01, false)
+	f.Record("c", 0.01, false) // evicts b (the minimum)
+	f.mu.Lock()
+	_, hasB := f.digests["b"]
+	_, hasC := f.digests["c"]
+	n := len(f.digests)
+	f.mu.Unlock()
+	if hasB || !hasC || n != 2 {
+		t.Fatalf("digest set after eviction: hasB=%v hasC=%v n=%d", hasB, hasC, n)
+	}
+}
+
+func TestFleetAnonymousEntity(t *testing.T) {
+	f := NewFleet(Config{})
+	f.Record("", 0.005, true)
+	rep := f.Report()
+	if rep.TopByCount[0].Key != "_none" || rep.Errors != 1 {
+		t.Fatalf("anonymous traffic: %+v", rep.TopByCount)
+	}
+}
+
+func TestFleetConcurrentRecordAndReport(t *testing.T) {
+	// Race-cleanliness: writers on every core against concurrent
+	// Report/Footprint readers. Run with -race in CI.
+	f := NewFleet(Config{K: 8, Compression: 32})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := lcg(uint64(w + 1))
+			for i := 0; i < 5000; i++ {
+				f.Record(fmt.Sprintf("e%d", rng.intn(100)), rng.float()*0.01, rng.intn(20) == 0)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = f.Report()
+					_ = f.Footprint()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if rep := f.Report(); rep.Requests != 20000 {
+		t.Fatalf("requests = %d, want 20000", rep.Requests)
+	}
+}

@@ -11,11 +11,12 @@ import (
 // SpanExport is the JSON form of one span (and, recursively, its
 // children). One completed root trace serializes to one JSONL line.
 type SpanExport struct {
-	Name  string         `json:"name"`
-	Start time.Time      `json:"start"`
-	DurNS int64          `json:"dur_ns"`
-	Attrs map[string]any `json:"attrs,omitempty"`
-	Spans []SpanExport   `json:"spans,omitempty"`
+	Name    string         `json:"name"`
+	TraceID string         `json:"trace_id,omitempty"` // root spans only
+	Start   time.Time      `json:"start"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Spans   []SpanExport   `json:"spans,omitempty"`
 }
 
 // Export snapshots the span tree into its serializable form. Safe to
@@ -27,6 +28,9 @@ func (s *Span) Export() SpanExport {
 	}
 	s.mu.Lock()
 	out := SpanExport{Name: s.name, Start: s.start, DurNS: int64(s.dur)}
+	if s.root {
+		out.TraceID = s.meta.id
+	}
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]any, len(s.attrs))
 		for _, a := range s.attrs {

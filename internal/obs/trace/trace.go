@@ -29,6 +29,7 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,8 +62,10 @@ func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
 // starts were refused once the cap was hit.
 type traceMeta struct {
 	tracer  *Tracer
+	id      string // sequence-based trace ID, fixed at root Start
 	spans   atomic.Int64
 	dropped atomic.Int64
+	keep    atomic.Bool // marked must-retain for tail sampling
 }
 
 // Span is one timed region of a trace. A nil *Span is a valid no-op:
@@ -88,10 +91,15 @@ type Tracer struct {
 	enabled  atomic.Bool
 	maxSpans int64 // per-trace span cap
 
-	mu    sync.Mutex
-	ring  []*Span // completed root spans, oldest overwritten first
-	next  int
-	total uint64 // completed root traces ever recorded
+	seq       atomic.Uint64                    // trace ID sequence
+	sampleCfg atomic.Pointer[TailSampleConfig] // nil → retain everything
+
+	mu        sync.Mutex
+	ring      []*Span // completed root spans, oldest overwritten first
+	next      int
+	total     uint64 // root traces retained (post-sampling)
+	sampleSeq uint64 // boring-trace counter for 1-in-KeepEvery
+	stats     SampleStats
 }
 
 // DefaultRingSize is the number of completed traces New retains when
@@ -138,7 +146,7 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	if !t.enabled.Load() {
 		return nil
 	}
-	meta := &traceMeta{tracer: t}
+	meta := &traceMeta{tracer: t, id: fmt.Sprintf("t%016x", t.seq.Add(1))}
 	meta.spans.Store(1)
 	return &Span{meta: meta, name: name, root: true, start: time.Now(), attrs: attrs}
 }
@@ -212,9 +220,15 @@ func (s *Span) Name() string {
 	return s.name
 }
 
-// record stores a completed root trace in the ring.
+// record applies the tail-sampling policy (if any) to a completed root
+// trace and stores survivors in the ring.
 func (t *Tracer) record(root *Span) {
+	cfg := t.sampleCfg.Load()
 	t.mu.Lock()
+	if cfg != nil && !t.decide(root, cfg) {
+		t.mu.Unlock()
+		return
+	}
 	t.ring[t.next] = root
 	t.next = (t.next + 1) % len(t.ring)
 	t.total++

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/sketch"
 	obstrace "repro/internal/obs/trace"
 )
 
@@ -15,14 +17,16 @@ import (
 type instrumentation struct {
 	reg      *obs.Registry
 	tracer   *obstrace.Tracer // may be nil
+	fleet    *sketch.Fleet    // may be nil (fleet telemetry disabled)
 	inFlight *obs.Gauge
 }
 
-func newInstrumentation(reg *obs.Registry, tracer *obstrace.Tracer) *instrumentation {
+func newInstrumentation(s *Server) *instrumentation {
 	return &instrumentation{
-		reg:      reg,
-		tracer:   tracer,
-		inFlight: reg.Gauge("rptcn_http_in_flight", "Requests currently being served."),
+		reg:      s.reg,
+		tracer:   s.tracer,
+		fleet:    s.fleet,
+		inFlight: s.reg.Gauge("rptcn_http_in_flight", "Requests currently being served."),
 	}
 }
 
@@ -47,12 +51,15 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // wrap instruments one route: request counter (by path and code), error
 // counter, in-flight gauge, a latency histogram, and (when tracing is
 // enabled) one "http.request" span per request. The forecast endpoint
-// additionally feeds rptcn_forecast_latency_seconds, the SLO histogram
-// for the paper's real-time prediction mode.
+// additionally feeds rptcn_forecast_latency_seconds — the SLO histogram
+// for the paper's real-time prediction mode, now with per-bucket
+// (trace ID, entity) exemplars — and the per-entity fleet sketches.
 //
 // The route label is always one of the registered route patterns (the
 // catch-all handler reports "other"), never the raw request path, so the
-// path label's cardinality is bounded no matter what clients probe.
+// path label's cardinality is bounded no matter what clients probe. The
+// per-entity dimension deliberately never becomes a label: it flows into
+// the O(K) sketches on /debug/fleet instead.
 func (in *instrumentation) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	lat := in.reg.Histogram("rptcn_http_request_seconds",
 		"HTTP request latency by route.", nil, obs.L("path", route))
@@ -75,6 +82,15 @@ func (in *instrumentation) wrap(route string, h http.HandlerFunc) http.HandlerFu
 			span = in.tracer.Start("http.request",
 				obstrace.String("path", route), obstrace.String("method", r.Method))
 		}
+		// Forecast requests carry a telemetry slot the handler fills in
+		// with what only it knows (entity, degraded) and the sketches
+		// consume below. Only real forecasts (POSTs) feed the fleet;
+		// 405 fallbacks on the same route do not.
+		var ft *forecastTelemetry
+		if forecastLat != nil && r.Method == http.MethodPost {
+			ft = &forecastTelemetry{}
+			r = r.WithContext(context.WithValue(r.Context(), telemetryKey{}, ft))
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r)
 		in.inFlight.Dec()
@@ -82,12 +98,27 @@ func (in *instrumentation) wrap(route string, h http.HandlerFunc) http.HandlerFu
 			rec.status = http.StatusOK
 		}
 		span.SetAttr(obstrace.Int("status", rec.status))
-		span.End()
 		elapsed := time.Since(start).Seconds()
 		lat.Observe(elapsed)
-		if forecastLat != nil {
+		if ft != nil {
+			entity, degraded := ft.get()
+			if degraded || rec.status >= 500 {
+				// Tail sampling must never drop the interesting traces.
+				span.Keep()
+			}
+			// Exemplar capture is a lock-free pointer store — it cannot
+			// block this path even while /debug/fleet is reading.
+			forecastLat.ObserveExemplar(elapsed, span.TraceID(), entity)
+			if in.fleet != nil {
+				in.fleet.Record(entity, elapsed, degraded || rec.status >= 400)
+			}
+		} else if forecastLat != nil {
 			forecastLat.Observe(elapsed)
 		}
+		if rec.status >= 500 {
+			span.Keep()
+		}
+		span.End()
 		in.reg.Counter("rptcn_http_requests_total", "Total HTTP requests.",
 			obs.L("path", route), obs.L("code", strconv.Itoa(rec.status))).Inc()
 		if rec.status >= 500 {

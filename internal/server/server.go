@@ -12,6 +12,11 @@
 //	POST /v1/forecast    {"indicators": [[...],...]} → {"forecast": [...]}
 //	POST /v1/observe     ground-truth ingestion for forecast-quality joins
 //	GET  /debug/quality  live forecast-quality status (JSON, ?format=html)
+//	GET  /debug/fleet    per-entity fleet telemetry: top-K heavy hitters,
+//	                     latency quantiles, exemplars, trace sampling
+//	                     (JSON, ?format=html)
+//	GET  /debug          index page linking every diagnostic endpoint
+//	GET  /debug/traces   sampled span journal (JSONL, when tracing is on)
 //
 // Every route is instrumented through internal/obs: request counters by
 // path and status code, an in-flight gauge, per-route latency histograms,
@@ -34,6 +39,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +48,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/obs/runlog"
+	"repro/internal/obs/sketch"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/quality"
 	"repro/internal/trace"
@@ -81,6 +88,18 @@ type Server struct {
 	dropped  *obs.Counter
 	panics   *obs.Counter
 	canceled *obs.Counter
+
+	// Fleet telemetry: O(K) per-entity sketches behind /debug/fleet
+	// (nil when disabled), the forecast-latency histogram whose bucket
+	// exemplars link into /debug/traces, and the unknown-path guard.
+	fleet       *sketch.Fleet
+	fleetCfg    FleetConfig
+	forecastLat *obs.Histogram
+	debugAddr   string
+
+	unknownPaths *obs.Counter
+	unknownMu    sync.Mutex
+	unknownSeen  map[string]bool
 }
 
 // Option customizes a Server.
@@ -160,8 +179,26 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	for _, reason := range degradeReasons {
 		s.reg.Counter(degradedName, degradedHelp, obs.L("reason", reason))
 	}
+	// Fleet telemetry: per-entity latency/error sketches at O(K) memory
+	// (see internal/obs/sketch and /debug/fleet). On by default — a
+	// Record is ~100 ns against a millisecond-scale forecast.
+	if !s.fleetCfg.Disabled {
+		s.fleet = sketch.NewFleet(sketch.Config{K: s.fleetCfg.K, Compression: s.fleetCfg.Compression})
+	}
+	// The SLO histogram doubles as the exemplar carrier: the middleware
+	// attaches (trace ID, entity) exemplars to its buckets, and
+	// /debug/fleet surfaces them. Same family the middleware records
+	// into — Histogram is get-or-create by name.
+	s.forecastLat = s.reg.Histogram("rptcn_forecast_latency_seconds",
+		"End-to-end forecast request latency.", nil)
+	s.unknownSeen = make(map[string]bool)
+	s.unknownPaths = s.reg.Counter("rptcn_http_unknown_paths_total",
+		"Requests for paths the server does not route (404 catch-all).")
+	if s.tracer != nil {
+		registerTraceMetrics(s.reg, s.tracer)
+	}
 
-	in := newInstrumentation(s.reg, s.tracer)
+	in := newInstrumentation(s)
 	// Middleware order (outer to inner): instrumentation sees the final
 	// status; recovery turns handler panics into 500s; the limiter sheds
 	// load before any work happens. /healthz and /metrics bypass the
@@ -172,6 +209,15 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.recovered(s.limited(s.handleForecast))))
 	s.mux.HandleFunc("POST /v1/observe", in.wrap("/v1/observe", s.recovered(s.limited(s.handleObserve))))
 	s.mux.HandleFunc("GET /debug/quality", in.wrap("/debug/quality", s.recovered(s.handleQualityStatus)))
+	s.mux.HandleFunc("GET /debug/fleet", in.wrap("/debug/fleet", s.recovered(s.handleFleet)))
+	s.mux.HandleFunc("GET /debug", in.wrap("/debug", s.recovered(s.handleDebugIndex)))
+	s.mux.HandleFunc("GET /debug/{$}", in.wrap("/debug", s.recovered(s.handleDebugIndex)))
+	if s.tracer != nil {
+		// The exemplar trace IDs on /debug/fleet key into this journal,
+		// so it must be reachable from the serving address, not only the
+		// pprof sidecar.
+		s.mux.HandleFunc("GET /debug/traces", in.wrap("/debug/traces", s.tracer.Handler().ServeHTTP))
+	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	// Method-less fallbacks keep 405 semantics for known paths (a bare
 	// catch-all would swallow wrong-method requests as 404s).
@@ -181,6 +227,7 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	s.mux.HandleFunc("/readyz", in.wrap("/readyz", methodNotAllowed(http.MethodGet)))
 	s.mux.HandleFunc("/v1/model", in.wrap("/v1/model", methodNotAllowed(http.MethodGet)))
 	s.mux.HandleFunc("/debug/quality", in.wrap("/debug/quality", methodNotAllowed(http.MethodGet)))
+	s.mux.HandleFunc("/debug/fleet", in.wrap("/debug/fleet", methodNotAllowed(http.MethodGet)))
 	// Cardinality guard: every unregistered path lands here and is
 	// instrumented under the single route label "other", so arbitrary
 	// probing cannot mint new metric series.
@@ -230,10 +277,6 @@ func (s *Server) Close() error {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-func (s *Server) handleNotFound(w http.ResponseWriter, _ *http.Request) {
-	s.writeError(w, http.StatusNotFound, "not found")
-}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -330,6 +373,11 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Report the entity to the instrumentation middleware, which feeds
+	// the fleet sketches and latency exemplars after the response is out.
+	ft := telemetryFrom(r.Context())
+	ft.set(req.Entity, false)
+
 	forecast, res := s.infer(r.Context(), req.Indicators)
 	switch res.kind {
 	case inferOK:
@@ -369,6 +417,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 				"model unavailable and history too short for a fallback forecast")
 			return
 		}
+		ft.set(req.Entity, true)
 		s.degradedInc(res.reason)
 		s.log.Warn("serving degraded forecast", "reason", res.reason)
 		s.writeJSON(w, http.StatusOK, ForecastResponse{
