@@ -13,6 +13,8 @@
 //	curl localhost:8080/v1/model
 //	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/v1/forecast -d '{"indicators": [[...], ...], "entity": "c1", "t": 1234}'
+//	curl -X POST localhost:8080/v1/ingest --data-binary @trace.csv   # stream raw CSV into per-entity rings
+//	curl localhost:8080/v1/forecast/c_10000                          # forecast straight from an entity's ring
 //	curl -X POST localhost:8080/v1/observe -d '{"entity": "c1", "t0": 1235, "values": [42.1, 40.8]}'
 //	curl localhost:8080/debug/quality      # live accuracy, drift, and SLO status (add ?format=html)
 //	curl localhost:8080/debug/fleet        # per-entity sketches, exemplars, trace sampling (add ?format=html)
@@ -74,6 +76,7 @@ func main() {
 		maxDelay    = flag.Duration("max-batch-delay", 2*time.Millisecond, "longest a forecast waits for batch-mates before running anyway")
 		sloSpec     = flag.String("slo", "", `forecast-quality SLO rules, comma-separated (e.g. "mae<=5@256, p90_abs_err<=12")`)
 		fleetK      = flag.Int("fleet-k", 32, "heavy-hitter capacity of the per-entity fleet sketches (0 disables /debug/fleet)")
+		f32         = flag.Bool("f32", false, "serve on the float32 SIMD tier (validated against the f64 oracle; refused if out of bounds)")
 		keepEvery   = flag.Int("trace-keep-every", 1, "tail sampling: retain 1 in N boring traces (errors/slow/degraded always kept; 1 keeps all)")
 		slowTrace   = flag.Duration("trace-slow", 250*time.Millisecond, "tail sampling: always retain traces at least this slow")
 	)
@@ -116,7 +119,7 @@ func main() {
 		if err != nil {
 			fatal("load model", err)
 		}
-		serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK)
+		serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK, *f32)
 		return
 	}
 
@@ -232,11 +235,23 @@ func main() {
 	if err := journal.Close(); err != nil {
 		log.Error("run journal", "err", err)
 	}
-	serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK)
+	serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK, *f32)
 }
 
 func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig,
-	batch server.BatchConfig, sloRules []quality.Rule, runDir string, fleetK int) {
+	batch server.BatchConfig, sloRules []quality.Rule, runDir string, fleetK int, f32 bool) {
+	if f32 {
+		// Gated opt-in: the tier only activates when the f32 forecasts
+		// validate against the f64 oracle on the held-out split; a refusal
+		// (out-of-bound error, or a -load'ed predictor without retained
+		// test data) leaves the f64 path serving.
+		if rep, err := p.EnableFloat32(); err != nil {
+			log.Warn("float32 serving tier refused; serving float64", "err", err)
+		} else {
+			log.Info("serving on the float32 tier",
+				"samples", rep.Samples, "max_rel_err", rep.MaxRelErr, "mae_delta", rep.MAEDelta)
+		}
+	}
 	reg := obs.Default()
 	reg.PublishExpvar("rptcn")
 	// Pre-register the training families so /metrics shows them even for
@@ -296,7 +311,7 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Info("serving forecasts", "addr", addr,
-		"endpoints", "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet")
+		"endpoints", "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/ingest, GET /v1/forecast/{entity}, GET /v1/entities, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet")
 
 	select {
 	case err := <-errCh:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataprep"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -104,6 +105,16 @@ func (p *Predictor) ForecastBatch(inputs []*PreparedInput) ([][]float64, error) 
 
 	p.inferMu.Lock()
 	defer p.inferMu.Unlock()
+	if p.f32Active {
+		if res, ok := p.forecastBatch32Locked(inputs, c, w, padded); ok {
+			return res, nil
+		}
+		// Non-finite f32 output (float32 overflow on an extreme input):
+		// drop the tier and serve this and future batches in f64 — the
+		// runtime counterpart of the enable-time validation gate.
+		p.f32Active = false
+		obs.Logger("core").Warn("float32 serving tier disabled: non-finite output; falling back to float64")
+	}
 	if p.inferBufs == nil {
 		p.inferBufs = make(map[int]*inferBuf)
 	}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// fitF32Predictor fits a small predictor suitable for the f32 tier
+// tests (Float32 off; tests enable explicitly to inspect the report).
+func fitF32Predictor(t testing.TB, cfg func(*PredictorConfig)) *Predictor {
+	series := syntheticSeries(200)
+	pc := PredictorConfig{
+		Scenario:  Mul,
+		Window:    16,
+		Horizon:   2,
+		Epochs:    2,
+		BatchSize: 16,
+		Seed:      4,
+		Model:     Config{Channels: []int{8, 8}, KernelSize: 3, WeightNorm: true, FCWidth: 8},
+	}
+	if cfg != nil {
+		cfg(&pc)
+	}
+	p := NewPredictor(pc)
+	if err := p.Fit(series, 0); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEnableFloat32ValidatesAndServes enables the tier, checks the
+// validation report is inside the configured bounds, and demands the f32
+// forecasts stay within the relative error bound of the f64 oracle —
+// and that batching on the f32 tier is bitwise self-consistent across
+// batch sizes and worker counts, like the f64 path.
+func TestEnableFloat32ValidatesAndServes(t *testing.T) {
+	p := fitF32Predictor(t, nil)
+	rep, err := p.EnableFloat32()
+	if err != nil {
+		t.Fatalf("EnableFloat32: %v (report %+v)", err, rep)
+	}
+	if !p.Float32Active() {
+		t.Fatal("tier not active after successful enable")
+	}
+	if rep.Samples == 0 || rep.MaxRelErr <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.MaxRelErr > p.Cfg.Float32MaxRelErr || rep.MAEDelta > p.Cfg.Float32MaxMAEDelta {
+		t.Fatalf("enable accepted out-of-bound report: %+v", rep)
+	}
+	if got, ok := p.Float32Stats(); !ok || got != rep {
+		t.Fatalf("Float32Stats = %+v, %v", got, ok)
+	}
+
+	wins := servingWindows(p, 4, 8)
+	inputs := make([]*PreparedInput, len(wins))
+	for i, w := range wins {
+		in, err := p.PrepareInput(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[i] = in
+	}
+	got32, err := p.ForecastBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f64 oracle for the same requests.
+	p.DisableFloat32()
+	want64, err := p.ForecastBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.f32Active = true
+	for i := range want64 {
+		for k := range want64[i] {
+			w, g := want64[i][k], got32[i][k]
+			if math.Abs(g-w) > 1e-4+5e-3*math.Abs(w) {
+				t.Fatalf("request %d step %d: f32 %g vs f64 %g", i, k, g, w)
+			}
+		}
+	}
+	// Bitwise self-consistency: each request alone must equal its row in
+	// the batch, at any worker count.
+	for _, workers := range []int{1, 4} {
+		prev := par.SetWorkers(workers)
+		for i, in := range inputs {
+			single, err := p.ForecastBatch([]*PreparedInput{in})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range single[0] {
+				if single[0][k] != got32[i][k] {
+					t.Fatalf("workers=%d request %d step %d: solo %g != batched %g",
+						workers, i, k, single[0][k], got32[i][k])
+				}
+			}
+		}
+		par.SetWorkers(prev)
+	}
+}
+
+// TestFloat32ConfigAutoEnables checks the PredictorConfig opt-in path.
+func TestFloat32ConfigAutoEnables(t *testing.T) {
+	p := fitF32Predictor(t, func(c *PredictorConfig) { c.Float32 = true })
+	if !p.Float32Active() {
+		t.Fatal("Cfg.Float32 did not enable the tier after Fit")
+	}
+}
+
+// TestEnableFloat32RefusesOnTightBound pins the degradation rule: with
+// an impossibly tight error bound the tier must refuse and leave f64
+// serving untouched.
+func TestEnableFloat32RefusesOnTightBound(t *testing.T) {
+	p := fitF32Predictor(t, func(c *PredictorConfig) { c.Float32MaxRelErr = 1e-12 })
+	rep, err := p.EnableFloat32()
+	if err == nil {
+		t.Fatalf("enable succeeded under 1e-12 bound (report %+v)", rep)
+	}
+	if !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if p.Float32Active() {
+		t.Fatal("tier active after refusal")
+	}
+	// Serving still works (f64 path).
+	wins := servingWindows(p, 4, 2)
+	in, err := p.PrepareInput(wins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ForecastBatch([]*PreparedInput{in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFloat32AutoDisableOnOverflow pins the runtime guard: weights that
+// overflow float32 (but not float64) produce a non-finite f32 output,
+// and ForecastBatch must fall back to f64 and switch the tier off.
+func TestFloat32AutoDisableOnOverflow(t *testing.T) {
+	p := fitF32Predictor(t, nil)
+	if _, err := p.EnableFloat32(); err != nil {
+		t.Fatal(err)
+	}
+	// Out-projection weights beyond float32 range: f64 forward stays
+	// finite (~1e200-scale outputs), the f32 mirrors quantize to ±Inf.
+	for i := range p.model.out.W.Value.Data {
+		p.model.out.W.Value.Data[i] = 1e200
+	}
+	p.model.Quantize32()
+
+	wins := servingWindows(p, 4, 2)
+	in, err := p.PrepareInput(wins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ForecastBatch([]*PreparedInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res[0] {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("fallback forecast non-finite: %v", res[0])
+		}
+	}
+	if p.Float32Active() {
+		t.Fatal("tier still active after non-finite f32 output")
+	}
+}
+
+// BenchmarkServingBatchedArenaF32 is the f32 counterpart of
+// BenchmarkServingBatchedArena32 (there, 32 is the batch size): the same
+// 32 fused requests served on the float32 tier.
+func BenchmarkServingBatchedArenaF32(b *testing.B) {
+	// Silence the enable-time INFO line: go test merges stderr into
+	// stdout, and a log line between a benchmark's name and its result
+	// row breaks benchmark-output parsers (cmd/benchjson).
+	obs.SetLogger(obs.NopLogger())
+	defer obs.SetLogger(nil)
+	p, inputs := servingPredictor(b)
+	if _, err := p.EnableFloat32(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.ForecastBatch(inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ForecastBatch(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataprep"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/opt"
 	"repro/internal/tensor"
@@ -90,6 +91,19 @@ type PredictorConfig struct {
 	// filled in by the predictor.
 	Model Config
 
+	// Float32 opts serving into the float32 SIMD inference tier: after a
+	// successful Fit the model is quantized and validated against the f64
+	// oracle on the held-out split (see EnableFloat32), and ForecastBatch
+	// switches to the f32 path only when both bounds below hold. Training
+	// always runs in float64.
+	Float32 bool
+	// Float32MaxRelErr bounds the per-element relative deviation of the
+	// f32 forecasts from the f64 oracle at enable time (default 5e-3).
+	Float32MaxRelErr float64
+	// Float32MaxMAEDelta bounds the relative backtest-MAE degradation of
+	// the f32 tier vs f64 on the held-out split (default 0.01, i.e. 1%).
+	Float32MaxMAEDelta float64
+
 	// Training hyperparameters. Defaults: 60 epochs, batch 32, Adam 1e-3,
 	// early-stopping patience 10 (the paper's Keras callback setting).
 	Epochs       int
@@ -146,6 +160,12 @@ func (c *PredictorConfig) fillDefaults() {
 	if c.ValidFrac == 0 {
 		c.ValidFrac = 0.2
 	}
+	if c.Float32MaxRelErr == 0 {
+		c.Float32MaxRelErr = 5e-3
+	}
+	if c.Float32MaxMAEDelta == 0 {
+		c.Float32MaxMAEDelta = 0.01
+	}
 }
 
 // Predictor runs Algorithm 1 with an RPTCN model: data cleaning,
@@ -174,6 +194,11 @@ type Predictor struct {
 	inferMu   sync.Mutex
 	inferBufs map[int]*inferBuf
 	wfMu      sync.Mutex
+
+	// Float32 serving tier (see float32.go), guarded by inferMu.
+	f32Active   bool
+	f32Report   Float32Report
+	inferBufs32 map[int]*inferBuf32
 }
 
 // NewPredictor returns an unfitted predictor.
@@ -303,6 +328,14 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 		TraceParent: fitSpan,
 		Tracer:      p.Cfg.Tracer,
 	})
+	// The f32 tier is opportunistic: a refusal (error bound or MAE
+	// degradation exceeded) is logged and serving stays on the validated
+	// f64 path — quality gates must never fail a successful fit.
+	if p.Cfg.Float32 {
+		if _, err := p.EnableFloat32(); err != nil {
+			obs.Logger("core").Warn("float32 serving tier not enabled", "err", err)
+		}
+	}
 	return nil
 }
 

@@ -71,6 +71,16 @@ type CausalConv1D struct {
 	dwScratch *tensor.Tensor // [out, in, k] effective-kernel gradient
 	dwShards  []float64      // per-shard dW partials
 	dbShards  []float64      // per-shard bias partials
+
+	// Float32 serving-tier mirrors (see infer32.go). Quantize32 bakes the
+	// *effective* kernel — weight norm already applied — directly in its
+	// transposed GEMM layout, so the f32 forward skips both the norm and
+	// the per-call transpose.
+	wt32 *tensor.Tensor32 // [in·k, out] transposed effective kernel
+	b32  *tensor.Tensor32 // [out]
+
+	gemmX32, gemmAcol32, gemmYcol32, gemmY32 *tensor.Tensor32
+	colRun32, outRun32                       func(lo, hi int)
 }
 
 // NewCausalConv1D builds the layer with He-normal initialization

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+func requireBitwiseTensors32(t *testing.T, got, want *tensor.Tensor32, what string) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d, want %d", what, got.Size(), want.Size())
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: elem %d = %g, want %g (bits %x vs %x)", what, i,
+				got.Data[i], want.Data[i],
+				math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// infer32Tol is the error bound the f32 tier is held to against the f64
+// oracle in these tests: |f32 − f64| ≤ atol + rtol·|f64| per element.
+// Float32 carries 2⁻²⁴ relative error per operation; across the deepest
+// stack here (TCN with two residual blocks plus attention) the
+// accumulated deviation stays well inside these bounds.
+const (
+	infer32RTol = 1e-3
+	infer32ATol = 1e-4
+)
+
+func requireWithinBound32(t *testing.T, got *tensor.Tensor32, want *tensor.Tensor, what string) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d, want %d", what, got.Size(), want.Size())
+	}
+	for i := range want.Data {
+		diff := math.Abs(float64(got.Data[i]) - want.Data[i])
+		if diff > infer32ATol+infer32RTol*math.Abs(want.Data[i]) {
+			t.Fatalf("%s: elem %d = %g, want %g (diff %g exceeds bound)",
+				what, i, got.Data[i], want.Data[i], diff)
+		}
+	}
+}
+
+// TestInfer32WithinBoundOfFloat64 quantizes every architecture family
+// and demands the f32 arena forward stays inside the documented error
+// bound of the f64 training-path forward, across batch sizes and
+// repeated (replayed) arena passes.
+func TestInfer32WithinBoundOfFloat64(t *testing.T) {
+	const features, timeSteps = 4, 12
+	for name, model := range inferStacks(features, timeSteps) {
+		t.Run(name, func(t *testing.T) {
+			if !SupportsInfer32(model) {
+				t.Fatalf("%s: SupportsInfer32 = false, want true", name)
+			}
+			Quantize32(model)
+			arena := NewInferArena32()
+			for _, batch := range []int{1, 3, 7} {
+				r := tensor.NewRNG(uint64(100 + batch))
+				x := tensor.RandN(r, batch, features, timeSteps)
+				want := model.Forward(x, false)
+				x32 := x.To32()
+				var first *tensor.Tensor32
+				for pass := 0; pass < 3; pass++ {
+					arena.Reset()
+					got := Infer32(model, arena, x32)
+					requireWithinBound32(t, got, want, name)
+					if first == nil {
+						first = got.Clone()
+					} else {
+						requireBitwiseTensors32(t, got, first, name+" replay")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInfer32WorkerCountInvariance reruns f32 arena inference under 1, 2
+// and 4 workers and demands bitwise identical outputs — the determinism
+// contract carries over from the f64 tier unchanged.
+func TestInfer32WorkerCountInvariance(t *testing.T) {
+	const features, timeSteps, batch = 4, 12, 5
+	for name, model := range inferStacks(features, timeSteps) {
+		t.Run(name, func(t *testing.T) {
+			Quantize32(model)
+			r := tensor.NewRNG(7)
+			x := tensor.RandN(r, batch, features, timeSteps).To32()
+			run := func(workers int) *tensor.Tensor32 {
+				prev := par.SetWorkers(workers)
+				defer par.SetWorkers(prev)
+				arena := NewInferArena32()
+				return Infer32(model, arena, x).Clone()
+			}
+			base := run(1)
+			for _, w := range []int{2, 4} {
+				requireBitwiseTensors32(t, run(w), base, name)
+			}
+		})
+	}
+}
+
+// TestQuantize32TracksWeightUpdates checks re-quantizing after a weight
+// change refreshes the mirrors in place (no new allocations of the
+// mirror tensors) and the f32 forward follows the new weights.
+func TestQuantize32TracksWeightUpdates(t *testing.T) {
+	const features, timeSteps, batch = 4, 12, 3
+	r := tensor.NewRNG(17)
+	model := NewSequential(
+		NewCausalConv1D(r, features, 6, 3, 1, true),
+		&ReLU{},
+		NewGRU(r, 6, 5, false),
+		NewDense(r, 5, 2),
+	)
+	Quantize32(model)
+	x := tensor.RandN(r, batch, features, timeSteps)
+	x32 := x.To32()
+	arena := NewInferArena32()
+	before := Infer32(model, arena, x32).Clone()
+
+	for _, p := range model.Params() {
+		for i := range p.Value.Data {
+			p.Value.Data[i] *= 1.25
+		}
+	}
+	Quantize32(model)
+	want := model.Forward(x, false)
+	arena.Reset()
+	after := Infer32(model, arena, x32)
+	requireWithinBound32(t, after, want, "after requantize")
+
+	same := true
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("f32 forward unchanged after weight update + requantize")
+	}
+}
+
+// TestInfer32PanicsWithoutQuantize pins the contract that running the
+// f32 path before Quantize32 is a hard error, not a silent fallback.
+func TestInfer32PanicsWithoutQuantize(t *testing.T) {
+	r := tensor.NewRNG(3)
+	model := NewDense(r, 4, 2)
+	x := tensor.RandN32(r, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from InferForward32 before Quantize32")
+		}
+	}()
+	Infer32(model, NewInferArena32(), x)
+}
+
+// TestInfer32DoesNotDisturbTraining interleaves a quantize + f32 arena
+// inference between a training forward and its backward pass and checks
+// the gradients are bitwise identical to an undisturbed step.
+func TestInfer32DoesNotDisturbTraining(t *testing.T) {
+	const features, timeSteps, batch = 4, 12, 3
+	build := func() Layer {
+		r := tensor.NewRNG(21)
+		return NewSequential(
+			NewCausalConv1D(r, features, 6, 3, 1, true),
+			&ReLU{},
+			NewLSTM(r, 6, 5, false),
+			NewDense(r, 5, 6),
+			NewFeatureAttention(r, 6),
+			NewDense(r, 6, 2),
+		)
+	}
+	r := tensor.NewRNG(22)
+	x := tensor.RandN(r, batch, features, timeSteps)
+	xInfer := tensor.RandN(r, 2, features, timeSteps).To32()
+	grad := tensor.RandN(r, batch, 2)
+
+	gradsOf := func(interleave bool) []*tensor.Tensor {
+		m := build()
+		m.Forward(x, true)
+		if interleave {
+			Quantize32(m)
+			Infer32(m, NewInferArena32(), xInfer)
+		}
+		m.Backward(grad.Clone())
+		var gs []*tensor.Tensor
+		for _, p := range m.Params() {
+			gs = append(gs, p.Grad.Clone())
+		}
+		return gs
+	}
+	clean := gradsOf(false)
+	mixed := gradsOf(true)
+	for i := range clean {
+		requireBitwiseTensors(t, mixed[i], clean[i], "param grad")
+	}
+}
+
+// TestInfer32ArenaZeroAllocSteadyState proves a warmed-up f32 arena
+// forward performs no heap allocations across all architecture families.
+func TestInfer32ArenaZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation defeats escape analysis; allocation counts are meaningless")
+	}
+	const features, timeSteps, batch = 8, 32, 32
+	for name, model := range inferStacks(features, timeSteps) {
+		t.Run(name, func(t *testing.T) {
+			Quantize32(model)
+			r := tensor.NewRNG(5)
+			x := tensor.RandN32(r, batch, features, timeSteps)
+			arena := NewInferArena32()
+			for i := 0; i < 3; i++ { // warm arena slots and kernel pools
+				arena.Reset()
+				Infer32(model, arena, x)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				arena.Reset()
+				Infer32(model, arena, x)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state f32 arena inference allocates %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkArenaInference32 measures the steady-state f32 arena forward
+// of the TCN+attention stack at serving batch size — the f32 counterpart
+// of BenchmarkArenaInference.
+func BenchmarkArenaInference32(b *testing.B) {
+	const features, timeSteps, batch = 8, 32, 32
+	model := inferStacks(features, timeSteps)["rptcn-style"]
+	Quantize32(model)
+	r := tensor.NewRNG(5)
+	x := tensor.RandN32(r, batch, features, timeSteps)
+	arena := NewInferArena32()
+	arena.Reset()
+	Infer32(model, arena, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		Infer32(model, arena, x)
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Streaming trace ingestion: POST /v1/ingest accepts a v2018-style
+// usage CSV body and streams it through trace.ScanCSV straight into
+// per-entity ring buffers — no per-sample allocation, no intermediate
+// record materialization. GET /v1/forecast/{entity} then serves a
+// forecast from an entity's ring: the trailing window is read as
+// zero-copy views under the entity's lock, run through the stored data
+// pipeline, and fused into the same micro-batcher as JSON requests. A
+// resource manager can therefore pump raw monitoring streams in and ask
+// for per-entity forecasts by name, instead of re-shipping every
+// entity's history on every request.
+
+// IngestConfig tunes streaming trace ingestion.
+type IngestConfig struct {
+	// Disabled switches the /v1/ingest and /v1/forecast/{entity} routes
+	// off (they respond 404).
+	Disabled bool
+	// RingCapacity is the number of most-recent samples retained per
+	// entity. Default: twice the predictor's MinHistory (or 64 if
+	// larger), so a full input window plus slack is always on hand.
+	RingCapacity int
+	// MaxBodyBytes bounds one ingest request's body (default 256 MiB —
+	// usage CSVs are long; the scan is streaming so memory stays flat).
+	MaxBodyBytes int64
+}
+
+func (c *IngestConfig) fillDefaults(p *core.Predictor) {
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = 2 * p.MinHistory()
+		if c.RingCapacity < 64 {
+			c.RingCapacity = 64
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+}
+
+// WithIngest overrides the streaming-ingestion parameters.
+func WithIngest(cfg IngestConfig) Option {
+	return func(s *Server) { s.ingestCfg = cfg }
+}
+
+// IngestResponse is the /v1/ingest response body.
+type IngestResponse struct {
+	// Rows is the number of usable CSV rows parsed.
+	Rows int `json:"rows"`
+	// Skipped counts unusable rows (ragged, unparsable) dropped by the
+	// lenient scanner.
+	Skipped int `json:"skipped"`
+	// Rejected counts parsed samples the rings refused because their
+	// timestamp did not advance the entity's newest sample (replays,
+	// duplicates, out-of-order deliveries).
+	Rejected int `json:"rejected"`
+	// Entities is the total number of entities with ring state.
+	Entities int `json:"entities"`
+}
+
+// handleIngest streams the CSV body into the ring store. The body is
+// never buffered whole: ScanCSV reads through a pooled 64 KiB window.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	rejected := 0
+	body := http.MaxBytesReader(w, r.Body, s.ingestCfg.MaxBodyBytes)
+	st, err := trace.ScanCSV(body, func(entity []byte, ts int, vals *[trace.NumIndicators]float64) error {
+		if !s.rings.Ingest(entity, ts, vals) {
+			rejected++
+		}
+		return nil
+	})
+	s.ingestRows.Add(float64(st.Rows))
+	s.ingestSkipped.Add(float64(st.Skipped))
+	s.ingestRejected.Add(float64(rejected))
+	s.ingestEntities.Set(float64(s.rings.Len()))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("ingest body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, IngestResponse{
+		Rows:     st.Rows,
+		Skipped:  st.Skipped,
+		Rejected: rejected,
+		Entities: s.rings.Len(),
+	})
+}
+
+// EntityInfo is one entry of the /v1/entities response.
+type EntityInfo struct {
+	ID      string `json:"id"`
+	Samples int    `json:"samples"`
+	LastTS  int    `json:"last_ts"`
+}
+
+func (s *Server) handleEntities(w http.ResponseWriter, _ *http.Request) {
+	ids := s.rings.Entities()
+	out := make([]EntityInfo, 0, len(ids))
+	for _, id := range ids {
+		info := EntityInfo{ID: id}
+		s.rings.WithWindow(id, s.ingestCfg.RingCapacity, func(win [][]float64, _, lastTS int) {
+			info.Samples = len(win[0])
+			info.LastTS = lastTS
+		})
+		out = append(out, info)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// errUnknownEntity marks a forecast request for an entity with no ring
+// state; surfaced as 404 rather than 422.
+var errUnknownEntity = errors.New("server: unknown entity")
+
+// handleEntityForecast serves GET /v1/forecast/{entity} from the
+// entity's ring through the full protection stack and the shared
+// micro-batcher. The ring window is consumed as zero-copy views while
+// holding the entity's lock; only the model-ready PreparedInput outlives
+// the critical section.
+func (s *Server) handleEntityForecast(w http.ResponseWriter, r *http.Request) {
+	entity := r.PathValue("entity")
+	if entity == "" {
+		s.writeError(w, http.StatusBadRequest, "empty entity")
+		return
+	}
+	ft := telemetryFrom(r.Context())
+	ft.set(entity, false)
+
+	need := s.predictor.MinHistory()
+	forecast, res := s.guardedInfer(r.Context(), func() inferOutcome {
+		var in *core.PreparedInput
+		var perr error
+		found := s.rings.WithWindow(entity, need, func(win [][]float64, _, _ int) {
+			in, perr = s.predictor.PrepareInput(win)
+		})
+		if !found {
+			return inferOutcome{err: errUnknownEntity}
+		}
+		if perr != nil {
+			return inferOutcome{err: perr}
+		}
+		resp := s.batcher.submit(in)
+		return inferOutcome{forecast: resp.forecast, err: resp.err, panicked: resp.panicked}
+	})
+	switch res.kind {
+	case inferOK:
+		s.writeJSON(w, http.StatusOK, ForecastResponse{
+			Forecast: forecast,
+			Target:   targetName(s.predictor),
+			Horizon:  s.predictor.Cfg.Horizon,
+		})
+	case inferBadInput:
+		if errors.Is(res.err, errUnknownEntity) {
+			s.writeError(w, http.StatusNotFound, fmt.Sprintf("entity %q has no ingested samples", entity))
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, res.err.Error())
+	case inferCanceled:
+		s.canceled.Inc()
+		s.writeError(w, StatusClientClosedRequest, "client closed request")
+	default:
+		fb, ok := s.entityFallback(entity)
+		if !ok {
+			s.writeError(w, http.StatusServiceUnavailable,
+				"model unavailable and entity history too short for a fallback forecast")
+			return
+		}
+		ft.set(entity, true)
+		s.degradedInc(res.reason)
+		s.log.Warn("serving degraded entity forecast", "entity", entity, "reason", res.reason)
+		s.writeJSON(w, http.StatusOK, ForecastResponse{
+			Forecast: fb,
+			Target:   targetName(s.predictor),
+			Horizon:  s.predictor.Cfg.Horizon,
+			Degraded: true,
+		})
+	}
+}
+
+// entityFallback is the ring-backed twin of fallbackForecast: a
+// last-value forecast from the entity's target-indicator history.
+func (s *Server) entityFallback(entity string) ([]float64, bool) {
+	idx := 0
+	if sel := s.predictor.SelectedIndicators(); len(sel) > 0 {
+		idx = sel[0]
+	}
+	var last float64
+	found := false
+	s.rings.WithWindow(entity, 1, func(win [][]float64, _, _ int) {
+		if idx < len(win) && len(win[idx]) > 0 {
+			last = win[idx][len(win[idx])-1]
+			found = true
+		}
+	})
+	if !found {
+		return nil, false
+	}
+	fb := make([]float64, s.predictor.Cfg.Horizon)
+	for i := range fb {
+		fb[i] = last
+	}
+	return fb, true
+}

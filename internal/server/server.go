@@ -89,6 +89,16 @@ type Server struct {
 	panics   *obs.Counter
 	canceled *obs.Counter
 
+	// Streaming ingestion: per-entity sample rings fed by /v1/ingest and
+	// read by /v1/forecast/{entity} (nil when disabled), plus its
+	// accounting metrics.
+	rings          *trace.RingStore
+	ingestCfg      IngestConfig
+	ingestRows     *obs.Counter
+	ingestSkipped  *obs.Counter
+	ingestRejected *obs.Counter
+	ingestEntities *obs.Gauge
+
 	// Fleet telemetry: O(K) per-entity sketches behind /debug/fleet
 	// (nil when disabled), the forecast-latency histogram whose bucket
 	// exemplars link into /debug/traces, and the unknown-path guard.
@@ -191,6 +201,20 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// into — Histogram is get-or-create by name.
 	s.forecastLat = s.reg.Histogram("rptcn_forecast_latency_seconds",
 		"End-to-end forecast request latency.", nil)
+	// Streaming ingestion rings: one fixed-capacity ring per entity,
+	// sized to hold a full input window plus slack.
+	s.ingestCfg.fillDefaults(p)
+	if !s.ingestCfg.Disabled {
+		s.rings = trace.NewRingStore(s.ingestCfg.RingCapacity)
+		s.ingestRows = s.reg.Counter("rptcn_ingested_samples_total",
+			"Usable CSV rows accepted by /v1/ingest.")
+		s.ingestSkipped = s.reg.Counter("rptcn_ingest_skipped_rows_total",
+			"Unusable CSV rows dropped by the lenient streaming scanner.")
+		s.ingestRejected = s.reg.Counter("rptcn_ingest_rejected_samples_total",
+			"Parsed samples rejected by the rings (non-advancing timestamps).")
+		s.ingestEntities = s.reg.Gauge("rptcn_ingest_entities",
+			"Entities with ring state from streaming ingestion.")
+	}
 	s.unknownSeen = make(map[string]bool)
 	s.unknownPaths = s.reg.Counter("rptcn_http_unknown_paths_total",
 		"Requests for paths the server does not route (404 catch-all).")
@@ -217,6 +241,14 @@ func New(p *core.Predictor, opts ...Option) *Server {
 		// so it must be reachable from the serving address, not only the
 		// pprof sidecar.
 		s.mux.HandleFunc("GET /debug/traces", in.wrap("/debug/traces", s.tracer.Handler().ServeHTTP))
+	}
+	if !s.ingestCfg.Disabled {
+		s.mux.HandleFunc("POST /v1/ingest", in.wrap("/v1/ingest", s.recovered(s.limited(s.handleIngest))))
+		s.mux.HandleFunc("GET /v1/entities", in.wrap("/v1/entities", s.recovered(s.limited(s.handleEntities))))
+		s.mux.HandleFunc("GET /v1/forecast/{entity}", in.wrap("/v1/forecast/{entity}",
+			s.recovered(s.limited(s.handleEntityForecast))))
+		s.mux.HandleFunc("/v1/ingest", in.wrap("/v1/ingest", methodNotAllowed(http.MethodPost)))
+		s.mux.HandleFunc("/v1/entities", in.wrap("/v1/entities", methodNotAllowed(http.MethodGet)))
 	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	// Method-less fallbacks keep 405 semantics for known paths (a bare
@@ -292,6 +324,9 @@ type ModelInfo struct {
 	Selected       []string `json:"selected_indicators"`
 	ParamCount     int      `json:"param_count"`
 	ReceptiveField int      `json:"receptive_field"`
+	// Float32 reports whether forecasts are currently served on the
+	// float32 SIMD tier (see core.Predictor.EnableFloat32).
+	Float32 bool `json:"float32,omitempty"`
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
@@ -301,6 +336,7 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		Window:       p.Cfg.Window,
 		Horizon:      p.Cfg.Horizon,
 		ExpandFactor: p.Cfg.ExpandFactor,
+		Float32:      p.Float32Active(),
 	}
 	for _, idx := range p.SelectedIndicators() {
 		info.Selected = append(info.Selected, trace.Indicator(idx).String())
@@ -457,36 +493,48 @@ type inferResult struct {
 // per-request: each waiter has its own deadline, its own breaker
 // outcome, and its own degradation decision.
 func (s *Server) infer(ctx context.Context, series [][]float64) ([]float64, inferResult) {
+	return s.guardedInfer(ctx, func() inferOutcome {
+		in, err := s.predictor.PrepareInput(series)
+		if err != nil {
+			return inferOutcome{err: err}
+		}
+		resp := s.batcher.submit(in)
+		return inferOutcome{forecast: resp.forecast, err: resp.err, panicked: resp.panicked}
+	})
+}
+
+// inferOutcome is one protected inference attempt's result.
+type inferOutcome struct {
+	forecast []float64
+	err      error
+	panicked bool
+}
+
+// guardedInfer runs one inference attempt under the full protection
+// stack (breaker admission, off-goroutine panic recovery, request
+// timeout, client-cancel detection, finite-output validation). run does
+// the actual work — prepare + batched forward for the JSON path, ring
+// window + batched forward for the entity path.
+func (s *Server) guardedInfer(ctx context.Context, run func() inferOutcome) ([]float64, inferResult) {
 	if !s.breaker.allow() {
 		return nil, inferResult{kind: inferDegraded, reason: "breaker_open"}
 	}
-	type outcome struct {
-		forecast []float64
-		err      error
-		panicked bool
-	}
-	ch := make(chan outcome, 1)
+	ch := make(chan inferOutcome, 1)
 	go func() {
-		var o outcome
+		var o inferOutcome
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Inc()
 				s.log.Error("panic recovered in inference",
 					"panic", p, "stack", string(debug.Stack()))
-				o = outcome{panicked: true}
+				o = inferOutcome{panicked: true}
 			}
 			ch <- o
 		}()
 		// Chaos hook: the server.forecast fault point injects latency or
 		// panics here, upstream of the real model call.
 		fault.Disrupt("server.forecast")
-		in, err := s.predictor.PrepareInput(series)
-		if err != nil {
-			o = outcome{err: err}
-			return
-		}
-		resp := s.batcher.submit(in)
-		o = outcome{forecast: resp.forecast, err: resp.err, panicked: resp.panicked}
+		o = run()
 	}()
 	timer := time.NewTimer(s.resilience.RequestTimeout)
 	defer timer.Stop()

@@ -1,0 +1,311 @@
+package tensor
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/par"
+)
+
+// This file is the float32 twin of the packed GEMM engine in gemm.go,
+// with one structural difference: the register tile doubles to
+// MR×NR = 8×16. float32 packs 8 lanes per YMM register instead of 4, so
+// the same 8-accumulator + 2-B-vector register budget that gives f64 a
+// 4×8 tile gives f32 a 4×16 half-tile; the microkernel computes the 8×16
+// tile as two sequential 4-row halves over the same packed B panel
+// (which stays hot in L1 for the second pass). The determinism contract
+// is identical to the f64 path: every output element is one ascending-k
+// chain of exactly-rounded float32 fused multiply-adds over row i of A
+// and column j of B alone — independent of worker count, tile shape, and
+// batch size.
+//
+// The portable fallback cannot lean on math.FMA directly: there is no
+// float32 FMA in the standard library, and float32(math.FMA(float64...))
+// double-rounds (53→24 bits) on rare tie cases. fma32 below repairs that
+// with a round-to-odd correction, so the fallback matches the hardware
+// VFMADD231PS instruction bit for bit.
+const (
+	gemm32MR = 8
+	gemm32NR = 16
+)
+
+// gemm32Op describes one C = A·B (or C += A·B) in row-major float32
+// storage. aTrans means a holds the k×m transpose of the logical m×k A;
+// bTrans means b holds the n×k transpose of the logical k×n B.
+type gemm32Op struct {
+	a, b, dst []float32
+	m, k, n   int
+	aTrans    bool
+	bTrans    bool
+	acc       bool // accumulate into dst instead of overwriting
+}
+
+// gemm32Scratch carries the packed-B buffer and a pre-bound worker
+// closure so a steady-state call performs zero heap allocations.
+type gemm32Scratch struct {
+	bp  []float32 // packed B: ceil(n/NR) panels of NR*k
+	op  gemm32Op
+	run func(lo, hi int) // processes A row-panels [lo,hi)
+}
+
+var gemm32ScratchPool = sync.Pool{New: func() any {
+	s := &gemm32Scratch{}
+	s.run = func(lo, hi int) { s.runPanels(lo, hi) }
+	return s
+}}
+
+// panel32Scratch is the per-goroutine packing buffer: one A panel and one
+// spill tile for ragged tile edges.
+type panel32Scratch struct {
+	ap []float32 // MR * k
+	ct [gemm32MR * gemm32NR]float32
+}
+
+var panel32ScratchPool = sync.Pool{New: func() any { return &panel32Scratch{} }}
+
+// gemm32 executes op on the packed kernel, parallelizing across A
+// row-panels when the op is large enough to amortize pool dispatch.
+// Chunk boundaries are in whole panels, so no two workers ever share a
+// panel and the per-element arithmetic order never depends on the split.
+func gemm32(op gemm32Op) {
+	if op.m == 0 || op.n == 0 {
+		return
+	}
+	if op.k == 0 {
+		if !op.acc {
+			for i := range op.dst[:op.m*op.n] {
+				op.dst[i] = 0
+			}
+		}
+		return
+	}
+	s := gemm32ScratchPool.Get().(*gemm32Scratch)
+	s.op = op
+	s.packB()
+	panels := (op.m + gemm32MR - 1) / gemm32MR
+	if op.m*op.n*op.k < parallelFlops || panels < 2 {
+		s.run(0, panels)
+	} else {
+		par.Run(panels, s.run)
+	}
+	s.op = gemm32Op{} // do not retain caller slices in the pool
+	gemm32ScratchPool.Put(s)
+}
+
+// packB lays B out in column panels of NR: panel jp holds columns
+// [jp*NR, jp*NR+NR) as bp[jp*NR*k + p*NR + c], zero-padded past n so the
+// microkernel never branches on ragged widths.
+func (s *gemm32Scratch) packB() {
+	k, n := s.op.k, s.op.n
+	padN := (n + gemm32NR - 1) / gemm32NR * gemm32NR
+	if cap(s.bp) < padN*k {
+		s.bp = make([]float32, padN*k)
+	}
+	bp := s.bp[:padN*k]
+	b := s.op.b
+	if s.op.bTrans {
+		// b is n×k; column j of logical B is row j of b.
+		for jc := 0; jc < padN; jc += gemm32NR {
+			panel := bp[jc*k : jc*k+gemm32NR*k]
+			cols := n - jc
+			if cols > gemm32NR {
+				cols = gemm32NR
+			}
+			for c := 0; c < cols; c++ {
+				brow := b[(jc+c)*k : (jc+c+1)*k]
+				for p, v := range brow {
+					panel[p*gemm32NR+c] = v
+				}
+			}
+			for c := cols; c < gemm32NR; c++ {
+				for p := 0; p < k; p++ {
+					panel[p*gemm32NR+c] = 0
+				}
+			}
+		}
+		return
+	}
+	// b is k×n row-major.
+	for jc := 0; jc < padN; jc += gemm32NR {
+		panel := bp[jc*k : jc*k+gemm32NR*k]
+		cols := n - jc
+		if cols > gemm32NR {
+			cols = gemm32NR
+		}
+		for p := 0; p < k; p++ {
+			src := b[p*n+jc : p*n+jc+cols]
+			dst := panel[p*gemm32NR : p*gemm32NR+gemm32NR]
+			copy(dst, src)
+			for c := cols; c < gemm32NR; c++ {
+				dst[c] = 0
+			}
+		}
+	}
+}
+
+// runPanels computes A row-panels [lo,hi): pack the panel, then sweep
+// every B panel with the register-tile kernel. Ragged edges run the same
+// kernel into a spill tile and copy the valid rectangle, so every element
+// sees the identical FMA chain.
+func (s *gemm32Scratch) runPanels(lo, hi int) {
+	op := &s.op
+	k, n := op.k, op.n
+	padN := (n + gemm32NR - 1) / gemm32NR * gemm32NR
+	ps := panel32ScratchPool.Get().(*panel32Scratch)
+	if cap(ps.ap) < gemm32MR*k {
+		ps.ap = make([]float32, gemm32MR*k)
+	}
+	ap := ps.ap[:gemm32MR*k]
+	for panel := lo; panel < hi; panel++ {
+		i0 := panel * gemm32MR
+		rows := op.m - i0
+		if rows > gemm32MR {
+			rows = gemm32MR
+		}
+		packA32(ap, op, i0, rows)
+		for jc := 0; jc < padN; jc += gemm32NR {
+			bpanel := s.bp[jc*k : jc*k+gemm32NR*k]
+			cols := n - jc
+			if cols > gemm32NR {
+				cols = gemm32NR
+			}
+			if rows == gemm32MR && cols == gemm32NR {
+				gemm32Kernel(ap, bpanel, op.dst[i0*n+jc:], k, n, op.acc)
+				continue
+			}
+			// Ragged tile: preload the valid rectangle (zeros elsewhere)
+			// and run with acc=true — starting the FMA chain from 0 or
+			// from dst is exactly what the interior tiles do.
+			ct := &ps.ct
+			for i := range ct {
+				ct[i] = 0
+			}
+			if op.acc {
+				for r := 0; r < rows; r++ {
+					copy(ct[r*gemm32NR:r*gemm32NR+cols], op.dst[(i0+r)*n+jc:(i0+r)*n+jc+cols])
+				}
+			}
+			gemm32Kernel(ap, bpanel, ct[:], k, gemm32NR, true)
+			for r := 0; r < rows; r++ {
+				copy(op.dst[(i0+r)*n+jc:(i0+r)*n+jc+cols], ct[r*gemm32NR:r*gemm32NR+cols])
+			}
+		}
+	}
+	panel32ScratchPool.Put(ps)
+}
+
+// packA32 packs rows [i0, i0+rows) of logical A as ap[p*MR+r], zeroing
+// the pad rows of a short final panel.
+func packA32(ap []float32, op *gemm32Op, i0, rows int) {
+	k := op.k
+	if op.aTrans {
+		// a is k×m; logical row i is column i of a.
+		m := op.m
+		for p := 0; p < k; p++ {
+			src := op.a[p*m+i0:]
+			dst := ap[p*gemm32MR : p*gemm32MR+gemm32MR]
+			for r := 0; r < rows; r++ {
+				dst[r] = src[r]
+			}
+			for r := rows; r < gemm32MR; r++ {
+				dst[r] = 0
+			}
+		}
+		return
+	}
+	for r := 0; r < rows; r++ {
+		arow := op.a[(i0+r)*k : (i0+r+1)*k]
+		for p, v := range arow {
+			ap[p*gemm32MR+r] = v
+		}
+	}
+	for r := rows; r < gemm32MR; r++ {
+		for p := 0; p < k; p++ {
+			ap[p*gemm32MR+r] = 0
+		}
+	}
+}
+
+// gemm32Kernel computes the MR×NR tile c[r*ldc+j] (+)= Σ_p ap[p*MR+r] ·
+// bp[p*NR+j], one exactly-rounded float32 fused multiply-add per product
+// in ascending p. On capable amd64 hardware this dispatches to the
+// AVX2 microkernel; everywhere else to the fma32 tile below. Both
+// produce identical bits.
+func gemm32Kernel(ap, bp, c []float32, k, ldc int, acc bool) {
+	if useFMAKernel32 {
+		fmaKernel8x16(&ap[0], &bp[0], &c[0], k, ldc, acc)
+		return
+	}
+	gemm32KernelGeneric(ap, bp, c, k, ldc, acc)
+}
+
+// gemm32KernelGeneric is the portable register tile: an 8×16 block of
+// scalar accumulators streaming the packed panels with fma32. It matches
+// the assembly kernel bit for bit (fma32 is exactly rounded), at scalar
+// speed — this path exists for correctness on hosts without AVX2+FMA and
+// for the purego CI leg, not for throughput.
+func gemm32KernelGeneric(ap, bp, c []float32, k, ldc int, acc bool) {
+	var acc8x16 [gemm32MR][gemm32NR]float32
+	if acc {
+		for r := 0; r < gemm32MR; r++ {
+			copy(acc8x16[r][:], c[r*ldc:r*ldc+gemm32NR])
+		}
+	}
+	for p := 0; p < k; p++ {
+		bpp := bp[p*gemm32NR : p*gemm32NR+gemm32NR : p*gemm32NR+gemm32NR]
+		app := ap[p*gemm32MR : p*gemm32MR+gemm32MR : p*gemm32MR+gemm32MR]
+		for r := 0; r < gemm32MR; r++ {
+			ar := app[r]
+			row := &acc8x16[r]
+			for j := 0; j < gemm32NR; j++ {
+				row[j] = fma32(ar, bpp[j], row[j])
+			}
+		}
+	}
+	for r := 0; r < gemm32MR; r++ {
+		copy(c[r*ldc:r*ldc+gemm32NR], acc8x16[r][:])
+	}
+}
+
+// fma32 returns the correctly rounded float32 fused multiply-add
+// a·b + c — bit-identical to the hardware VFMADD231PS instruction.
+//
+// The product of two float32s (24-bit significands) is exact in float64
+// (53 bits), so p below carries no error. The double-precision sum
+// s = p + c is then the exactly-rounded 53-bit result — but converting
+// it straight to float32 double-rounds: when s sits exactly on a 24-bit
+// tie and the discarded residue broke that tie, round-to-nearest at 53
+// bits already erased the evidence. The classic repair is round-to-odd:
+// recover the exact residue with a TwoSum, and when s is inexact with an
+// even last bit, nudge it one ulp toward the true value so the final
+// 53→24-bit rounding sees an unambiguously off-tie value. With 53−24 =
+// 29 ≥ 2 guard bits, round-to-nearest of the round-to-odd value equals
+// round-to-nearest of the exact value.
+func fma32(a, b, c float32) float32 {
+	p := float64(a) * float64(b) // exact
+	s := p + float64(c)
+	if math.IsInf(s, 0) {
+		return float32(s)
+	}
+	// TwoSum: s + err == p + c exactly.
+	bb := s - p
+	err := (p - (s - bb)) + (float64(c) - bb)
+	if err != 0 {
+		bits := math.Float64bits(s)
+		if bits&1 == 0 {
+			if (err > 0) == (s > 0) {
+				bits++ // true value is farther from zero
+			} else {
+				bits-- // true value is nearer to zero
+			}
+			s = math.Float64frombits(bits)
+		}
+	}
+	return float32(s)
+}
+
+// HasFMAKernel32 reports whether this process runs the hand-written
+// float32 AVX2+FMA microkernel or the portable fma32 tile. Both are
+// bitwise identical; this is exported for benchmarks and the experiments
+// report.
+func HasFMAKernel32() bool { return useFMAKernel32 }

@@ -1,0 +1,11 @@
+package tensor
+
+// fmaKernel8x16 is the float32 AVX2+FMA microkernel in gemm32_amd64.s.
+// ap and bp point at packed panels of at least k*MR and k*NR elements; c
+// points at the top-left of an 8×16 tile with row stride ldc (the tile
+// must be fully in bounds). k must be ≥ 1.
+func fmaKernel8x16(ap, bp, c *float32, k, ldc int, acc bool)
+
+// useFMAKernel32 shares the f64 kernel's feature gate: the same
+// AVX2 + FMA3 + OS-YMM-state requirements cover VFMADD231PS.
+var useFMAKernel32 = useFMAKernel

@@ -1,0 +1,134 @@
+#include "textflag.h"
+
+// func fmaKernel8x16(ap, bp, c *float32, k, ldc int, acc bool)
+//
+// The 8x16 float32 register-tile GEMM microkernel. float32 packs 8
+// lanes per YMM register, so the 8-accumulator register budget of the
+// f64 4x8 kernel covers a 4x16 half-tile here; the full 8x16 tile is
+// computed as two sequential 4-row halves over the same packed B panel,
+// which stays hot in L1 for the second pass. Per k-step each half
+// issues 2 B-panel loads, 4 A broadcasts and 8 fused multiply-adds —
+// one exactly-rounded FMA per product, ascending k, matching the
+// portable fma32 kernel bit for bit.
+TEXT ·fmaKernel8x16(SB), NOSPLIT, $0-41
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ k+24(FP), CX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8
+	MOVBLZX acc+40(FP), AX
+	MOVQ DX, R12
+	MOVQ CX, R13
+
+	// Half 0: rows 0-3.
+	LEAQ (DI)(R8*1), R9
+	LEAQ (DI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	TESTB AL, AL
+	JZ   zero0
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS (R9), Y2
+	VMOVUPS 32(R9), Y3
+	VMOVUPS (R10), Y4
+	VMOVUPS 32(R10), Y5
+	VMOVUPS (R11), Y6
+	VMOVUPS 32(R11), Y7
+	JMP  loop0
+zero0:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+loop0:
+	VMOVUPS (DX), Y8
+	VMOVUPS 32(DX), Y9
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VBROADCASTSS 4(SI), Y11
+	VFMADD231PS Y8, Y11, Y2
+	VFMADD231PS Y9, Y11, Y3
+	VBROADCASTSS 8(SI), Y10
+	VFMADD231PS Y8, Y10, Y4
+	VFMADD231PS Y9, Y10, Y5
+	VBROADCASTSS 12(SI), Y11
+	VFMADD231PS Y8, Y11, Y6
+	VFMADD231PS Y9, Y11, Y7
+	ADDQ $64, DX
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  loop0
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, (R9)
+	VMOVUPS Y3, 32(R9)
+	VMOVUPS Y4, (R10)
+	VMOVUPS Y5, 32(R10)
+	VMOVUPS Y6, (R11)
+	VMOVUPS Y7, 32(R11)
+
+	// Half 1: rows 4-7. Re-stream B from the start; A resumes at the
+	// second four rows of the MR=8-wide packed panel.
+	MOVQ R12, DX
+	MOVQ R13, CX
+	MOVQ ap+0(FP), SI
+	ADDQ $16, SI
+	LEAQ (R10)(R8*2), DI
+	LEAQ (DI)(R8*1), R9
+	LEAQ (DI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	TESTB AL, AL
+	JZ   zero1
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS (R9), Y2
+	VMOVUPS 32(R9), Y3
+	VMOVUPS (R10), Y4
+	VMOVUPS 32(R10), Y5
+	VMOVUPS (R11), Y6
+	VMOVUPS 32(R11), Y7
+	JMP  loop1
+zero1:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+loop1:
+	VMOVUPS (DX), Y8
+	VMOVUPS 32(DX), Y9
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VBROADCASTSS 4(SI), Y11
+	VFMADD231PS Y8, Y11, Y2
+	VFMADD231PS Y9, Y11, Y3
+	VBROADCASTSS 8(SI), Y10
+	VFMADD231PS Y8, Y10, Y4
+	VFMADD231PS Y9, Y10, Y5
+	VBROADCASTSS 12(SI), Y11
+	VFMADD231PS Y8, Y11, Y6
+	VFMADD231PS Y9, Y11, Y7
+	ADDQ $64, DX
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  loop1
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, (R9)
+	VMOVUPS Y3, 32(R9)
+	VMOVUPS Y4, (R10)
+	VMOVUPS Y5, 32(R10)
+	VMOVUPS Y6, (R11)
+	VMOVUPS Y7, 32(R11)
+	VZEROUPPER
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable fma32 register tile. Unlike
+// the f64 path (where math.FMA compiles to a native fused instruction on
+// arm64), the float32 fallback pays a software round-to-odd correction
+// per multiply-add; it is correct everywhere but fast nowhere.
+const useFMAKernel32 = false
+
+func fmaKernel8x16(ap, bp, c *float32, k, ldc int, acc bool) {
+	panic("tensor: fmaKernel8x16 without assembly support")
+}

@@ -1,0 +1,276 @@
+package tensor
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// fma32Oracle folds one correctly rounded float32 fused multiply-add per
+// k-step in ascending k — the chain every f32 gemm path must reproduce
+// bit for bit.
+func fma32Oracle(init float32, a func(p int) float32, b func(p int) float32, k int) float32 {
+	acc := init
+	for p := 0; p < k; p++ {
+		acc = fma32(a(p), b(p), acc)
+	}
+	return acc
+}
+
+func requireBitwise32(t *testing.T, got, want *Tensor32, what string) {
+	t.Helper()
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: elem %d = %x, want %x (%g vs %g)", what, i,
+				math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]),
+				got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// bigFMA32 computes round-to-nearest-even float32 of a·b + c exactly via
+// math/big — the ground truth fma32 must match.
+func bigFMA32(a, b, c float32) float32 {
+	bigA := new(big.Float).SetPrec(200).SetFloat64(float64(a))
+	bigB := new(big.Float).SetPrec(200).SetFloat64(float64(b))
+	bigC := new(big.Float).SetPrec(200).SetFloat64(float64(c))
+	sum := new(big.Float).SetPrec(200).Mul(bigA, bigB)
+	sum.Add(sum, bigC)
+	f, _ := sum.Float32()
+	return f
+}
+
+// TestFMA32MatchesBigFloat pins fma32's round-to-odd correction against
+// an arbitrary-precision oracle, including inputs engineered to land on
+// the 24-bit rounding ties where a naive float32(math.FMA(...)) cast
+// double-rounds.
+func TestFMA32MatchesBigFloat(t *testing.T) {
+	check := func(a, b, c float32) {
+		t.Helper()
+		got := fma32(a, b, c)
+		want := bigFMA32(a, b, c)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("fma32(%x, %x, %x) = %x, want %x",
+				math.Float32bits(a), math.Float32bits(b), math.Float32bits(c),
+				math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+	// Adversarial: c cancels most of a·b, leaving a residue exactly on a
+	// tie. 1+2^-23 squared is 1 + 2^-22 + 2^-46: subtracting 1 leaves
+	// 2^-22 + 2^-46, whose float32 rounding is decided by the 2^-46 tail
+	// — invisible after an intermediate 53-bit rounding on nearby
+	// variants.
+	onePlus := float32(1 + 1.0/(1<<23))
+	check(onePlus, onePlus, -1)
+	check(onePlus, -onePlus, 1)
+	check(1.5, onePlus, -1.5)
+	// Exact ties with zero residue must stay round-to-nearest-even.
+	check(1, 1.0/(1<<24), 1)
+	check(1, -1.0/(1<<24), 1)
+	// Zeros, infinities, and ordinary magnitudes.
+	check(0, 5, 7)
+	check(3, 0, -2)
+	check(math.MaxFloat32, 2, 0)
+	check(math.MaxFloat32, -2, 0)
+	// Subnormal products.
+	tiny := float32(1e-40)
+	check(tiny, tiny, 0)
+	check(tiny, tiny, 1)
+	check(tiny, -tiny, tiny)
+	trials := 100000
+	if testing.Short() {
+		trials = 10000
+	}
+	r := NewRNG(11)
+	for i := 0; i < trials; i++ {
+		a := float32(r.NormFloat64())
+		b := float32(r.NormFloat64())
+		c := float32(r.NormFloat64())
+		check(a, b, c)
+		// Force heavy cancellation so the residue decides the rounding.
+		check(a, b, -a*b)
+	}
+}
+
+func TestMatMul32MatchesFMAOracle(t *testing.T) {
+	r := NewRNG(3)
+	for _, sh := range gemmShapes {
+		a := RandN32(r, sh.m, sh.k)
+		b := RandN32(r, sh.k, sh.n)
+		got := a.MatMul(b)
+		want := New32(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want.Data[i*sh.n+j] = fma32Oracle(0,
+					func(p int) float32 { return a.Data[i*sh.k+p] },
+					func(p int) float32 { return b.Data[p*sh.n+j] }, sh.k)
+			}
+		}
+		requireBitwise32(t, got, want, "MatMul32")
+	}
+}
+
+func TestMatMulT32MatchesFMAOracle(t *testing.T) {
+	r := NewRNG(4)
+	for _, sh := range gemmShapes {
+		a := RandN32(r, sh.m, sh.k)
+		b := RandN32(r, sh.n, sh.k)
+		got := a.MatMulT(b)
+		want := New32(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want.Data[i*sh.n+j] = fma32Oracle(0,
+					func(p int) float32 { return a.Data[i*sh.k+p] },
+					func(p int) float32 { return b.Data[j*sh.k+p] }, sh.k)
+			}
+		}
+		requireBitwise32(t, got, want, "MatMulT32")
+	}
+}
+
+func TestTMatMulAcc32MatchesFMAOracle(t *testing.T) {
+	r := NewRNG(5)
+	for _, sh := range gemmShapes {
+		a := RandN32(r, sh.k, sh.m)
+		b := RandN32(r, sh.k, sh.n)
+		dst := RandN32(r, sh.m, sh.n)
+		want := New32(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want.Data[i*sh.n+j] = fma32Oracle(dst.Data[i*sh.n+j],
+					func(p int) float32 { return a.Data[p*sh.m+i] },
+					func(p int) float32 { return b.Data[p*sh.n+j] }, sh.k)
+			}
+		}
+		a.TMatMulAcc(b, dst)
+		requireBitwise32(t, dst, want, "TMatMulAcc32")
+	}
+}
+
+// TestGemm32RowIndependence pins the property f32 batched inference
+// relies on: row i of a large product is bitwise the result of
+// multiplying row i alone.
+func TestGemm32RowIndependence(t *testing.T) {
+	r := NewRNG(6)
+	const m, k, n = 37, 48, 40
+	a := RandN32(r, m, k)
+	b := RandN32(r, k, n)
+	full := a.MatMul(b)
+	for _, i := range []int{0, 1, 17, m - 1} {
+		row := FromSlice32(append([]float32(nil), a.Data[i*k:(i+1)*k]...), 1, k)
+		single := row.MatMul(b)
+		for j := 0; j < n; j++ {
+			if math.Float32bits(single.Data[j]) != math.Float32bits(full.Data[i*n+j]) {
+				t.Fatalf("row %d col %d: batch result %g != single-row result %g",
+					i, j, full.Data[i*n+j], single.Data[j])
+			}
+		}
+	}
+}
+
+// TestGemm32WorkerCountInvariance reruns the same large products under
+// 1, 2 and 4 workers and demands bitwise identical float32 results.
+func TestGemm32WorkerCountInvariance(t *testing.T) {
+	r := NewRNG(7)
+	const m, k, n = 130, 67, 75 // crosses parallelFlops, ragged in every dim
+	a := RandN32(r, m, k)
+	b := RandN32(r, k, n)
+	bT := RandN32(r, n, k)
+	aT := RandN32(r, k, m)
+	acc0 := RandN32(r, m, n)
+
+	type result struct{ mm, mmt, tmm *Tensor32 }
+	runAll := func(workers int) result {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		acc := FromSlice32(append([]float32(nil), acc0.Data...), m, n)
+		return result{a.MatMul(b), a.MatMulT(bT), aT.TMatMulAcc(b, acc)}
+	}
+	base := runAll(1)
+	for _, w := range []int{2, 4} {
+		got := runAll(w)
+		requireBitwise32(t, got.mm, base.mm, "MatMul32 workers")
+		requireBitwise32(t, got.mmt, base.mmt, "MatMulT32 workers")
+		requireBitwise32(t, got.tmm, base.tmm, "TMatMulAcc32 workers")
+	}
+}
+
+// TestGemm32CloseToReference sanity-checks the fused f32 kernels against
+// the unfused naive loops.
+func TestGemm32CloseToReference(t *testing.T) {
+	r := NewRNG(8)
+	const m, k, n = 33, 41, 27
+	a := RandN32(r, m, k)
+	b := RandN32(r, k, n)
+	got := a.MatMul(b)
+	want := New32(m, n)
+	a.ReferenceMatMulInto(b, want)
+	if !got.Equal(want, 1e-4) {
+		t.Fatal("packed MatMul32 far from naive reference")
+	}
+}
+
+// TestReference32ParityWithFloat64 runs identical inputs (drawn as
+// float32, widened exactly to float64) through the naive Reference
+// kernels in both widths and bounds the divergence — the pure
+// quantization error the f32 tier inherits, independent of packing or
+// fusion.
+func TestReference32ParityWithFloat64(t *testing.T) {
+	r := NewRNG(12)
+	const m, k, n = 29, 53, 31
+	a32 := RandN32(r, m, k)
+	b32 := RandN32(r, k, n)
+	a64, b64 := a32.To64(), b32.To64()
+
+	check := func(got32 *Tensor32, want64 *Tensor, what string) {
+		t.Helper()
+		// Each output is a k-term dot product: worst-case float32
+		// rounding grows with k·eps32 times the accumulated magnitude.
+		tol := float64(k) * 3 * 0x1p-24
+		for i, v := range got32.Data {
+			w := want64.Data[i]
+			if math.Abs(float64(v)-w) > tol*(math.Abs(w)+1) {
+				t.Fatalf("%s: elem %d diverges: f32 %g vs f64 %g", what, i, v, w)
+			}
+		}
+	}
+
+	g32 := New32(m, n)
+	g64 := New(m, n)
+	a32.ReferenceMatMulInto(b32, g32)
+	a64.ReferenceMatMulInto(b64, g64)
+	check(g32, g64, "ReferenceMatMulInto")
+
+	bt32 := RandN32(r, n, k)
+	bt64 := bt32.To64()
+	a32.ReferenceMatMulTInto(bt32, g32)
+	a64.ReferenceMatMulTInto(bt64, g64)
+	check(g32, g64, "ReferenceMatMulTInto")
+
+	at32 := RandN32(r, k, m)
+	at64 := at32.To64()
+	acc32 := New32(m, n)
+	acc64 := New(m, n)
+	at32.ReferenceTMatMulAcc(b32, acc32)
+	at64.ReferenceTMatMulAcc(b64, acc64)
+	check(acc32, acc64, "ReferenceTMatMulAcc")
+}
+
+// TestGemm32ZeroAllocSteadyState verifies a warmed-up Into-variant f32
+// matmul performs no heap allocations.
+func TestGemm32ZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation defeats escape analysis; allocation counts are meaningless")
+	}
+	r := NewRNG(9)
+	a := RandN32(r, 64, 64)
+	b := RandN32(r, 64, 64)
+	dst := New32(64, 64)
+	a.MatMulInto(b, dst) // warm the scratch pools
+	allocs := testing.AllocsPerRun(20, func() { a.MatMulInto(b, dst) })
+	if allocs != 0 {
+		t.Fatalf("MatMulInto steady state allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -12,8 +12,9 @@ func xgetbv0() (eax, edx uint32)
 // useFMAKernel is decided once at startup: the assembly kernel needs
 // AVX2 + FMA3 and an OS that saves YMM state (OSXSAVE + XCR0 bits 1–2).
 // Without them the portable math.FMA kernel runs instead — slower,
-// bitwise identical.
-var useFMAKernel = detectFMAKernel()
+// bitwise identical. Building with -tags purego pins the portable
+// kernel regardless of hardware (see gemm_purego.go).
+var useFMAKernel = !forcePureGo && detectFMAKernel()
 
 func detectFMAKernel() bool {
 	maxLeaf, _, _, _ := cpuidRaw(0, 0)

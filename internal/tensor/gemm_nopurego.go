@@ -1,0 +1,7 @@
+//go:build !purego
+
+package tensor
+
+// Default build: the runtime CPUID check in gemm_amd64.go decides
+// between the assembly and portable kernels. See gemm_purego.go.
+const forcePureGo = false

@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// Float32 matmul entry points, routed through the packed 8×16 GEMM
+// engine in gemm32.go. Only the operations the inference path needs are
+// mirrored: the f32 tier is serve-only, so the gradient-oriented ops
+// stay float64.
+
+// MatMul returns the matrix product t × u for 2-D tensors.
+func (t *Tensor32) MatMul(u *Tensor32) *Tensor32 {
+	m, _, n := matmul32Dims(t, u, "MatMul")
+	out := New32(m, n)
+	t.MatMulInto(u, out)
+	return out
+}
+
+// MatMulInto computes dst = t × u, reusing dst's storage. dst must be
+// [m, n] and must not alias t or u. It returns dst.
+func (t *Tensor32) MatMulInto(u, dst *Tensor32) *Tensor32 {
+	m, k, n := matmul32Dims(t, u, "MatMulInto")
+	checkDst32(dst, m, n, "MatMulInto")
+	gemm32(gemm32Op{a: t.Data, b: u.Data, dst: dst.Data, m: m, k: k, n: n})
+	return dst
+}
+
+// MatMulT returns t × uᵀ without materializing the transpose.
+func (t *Tensor32) MatMulT(u *Tensor32) *Tensor32 {
+	m, _, n := matmulT32Dims(t, u, "MatMulT")
+	out := New32(m, n)
+	t.MatMulTInto(u, out)
+	return out
+}
+
+// MatMulTInto computes dst = t × uᵀ, reusing dst's storage. dst must be
+// [m, n] and must not alias t or u. It returns dst.
+func (t *Tensor32) MatMulTInto(u, dst *Tensor32) *Tensor32 {
+	m, k, n := matmulT32Dims(t, u, "MatMulTInto")
+	checkDst32(dst, m, n, "MatMulTInto")
+	gemm32(gemm32Op{a: t.Data, b: u.Data, dst: dst.Data, m: m, k: k, n: n, bTrans: true})
+	return dst
+}
+
+// TMatMul returns tᵀ × u without materializing the transpose.
+func (t *Tensor32) TMatMul(u *Tensor32) *Tensor32 {
+	_, m := tmatmul32Dims(t, u, "TMatMul")
+	return t.TMatMulAcc(u, New32(m, u.shape[1]))
+}
+
+// TMatMulAcc accumulates tᵀ × u into dst (dst += tᵀ × u) without a
+// temporary. dst must be [cols(t), cols(u)] and must not alias t or u.
+// It returns dst.
+func (t *Tensor32) TMatMulAcc(u, dst *Tensor32) *Tensor32 {
+	k, m := tmatmul32Dims(t, u, "TMatMulAcc")
+	n := u.shape[1]
+	checkDst32(dst, m, n, "TMatMulAcc")
+	gemm32(gemm32Op{a: t.Data, b: u.Data, dst: dst.Data, m: m, k: k, n: n, aTrans: true, acc: true})
+	return dst
+}
+
+// AddRowVectorInPlace adds the length-cols vector v to every row of a
+// 2-D tensor in place and returns t.
+func (t *Tensor32) AddRowVectorInPlace(v *Tensor32) *Tensor32 {
+	if t.Dims() != 2 {
+		panic("tensor: AddRowVectorInPlace requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if v.Size() != cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInPlace vector length %d != cols %d", v.Size(), cols))
+	}
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			t.Data[base+c] += v.Data[c]
+		}
+	}
+	return t
+}
+
+func matmul32Dims(t, u *Tensor32, op string) (m, k, n int) {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: " + op + " requires 2-D tensors")
+	}
+	m, k = t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v × %v", op, t.dims(), u.dims()))
+	}
+	return m, k, n
+}
+
+func matmulT32Dims(t, u *Tensor32, op string) (m, k, n int) {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: " + op + " requires 2-D tensors")
+	}
+	m, k = t.shape[0], t.shape[1]
+	n, k2 := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v × %vᵀ", op, t.dims(), u.dims()))
+	}
+	return m, k, n
+}
+
+func tmatmul32Dims(t, u *Tensor32, op string) (k, m int) {
+	if t.Dims() != 2 || u.Dims() != 2 {
+		panic("tensor: " + op + " requires 2-D tensors")
+	}
+	k, m = t.shape[0], t.shape[1]
+	if u.shape[0] != k {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %vᵀ × %v", op, t.dims(), u.dims()))
+	}
+	return k, m
+}
+
+func checkDst32(dst *Tensor32, m, n int, op string) {
+	if dst.Dims() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.dims(), m, n))
+	}
+}

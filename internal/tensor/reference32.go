@@ -1,0 +1,67 @@
+package tensor
+
+// Float32 reference kernels: naive unfused loops mirroring reference.go,
+// kept as an independent implementation for cross-checks. The f32↔f64
+// parity tests promote these to an oracle pair: running the same inputs
+// through Reference* in both widths bounds the quantization error the
+// packed kernels inherit.
+
+// ReferenceMatMulInto computes dst = t × u with the naive ikj loop.
+func (t *Tensor32) ReferenceMatMulInto(u, dst *Tensor32) *Tensor32 {
+	m, k, n := matmul32Dims(t, u, "ReferenceMatMulInto")
+	checkDst32(dst, m, n, "ReferenceMatMulInto")
+	dst.Zero()
+	out, a, b := dst.Data, t.Data, u.Data
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p, av := range arow {
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// ReferenceMatMulTInto computes dst = t × uᵀ with the naive dot-product
+// loop.
+func (t *Tensor32) ReferenceMatMulTInto(u, dst *Tensor32) *Tensor32 {
+	m, k, n := matmulT32Dims(t, u, "ReferenceMatMulTInto")
+	checkDst32(dst, m, n, "ReferenceMatMulTInto")
+	out, a, b := dst.Data, t.Data, u.Data
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := float32(0)
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return dst
+}
+
+// ReferenceTMatMulAcc accumulates dst += tᵀ × u with the naive p-outer
+// loop.
+func (t *Tensor32) ReferenceTMatMulAcc(u, dst *Tensor32) *Tensor32 {
+	k, m := tmatmul32Dims(t, u, "ReferenceTMatMulAcc")
+	n := u.shape[1]
+	checkDst32(dst, m, n, "ReferenceTMatMulAcc")
+	out, a, b := dst.Data, t.Data, u.Data
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i, av := range arow {
+			orow := out[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}

@@ -102,7 +102,11 @@ func ReadCSVStats(r io.Reader, kind EntityKind) ([]*EntitySeries, ReadStats, err
 	// Field-count validation is ours: a ragged row is skipped, not fatal.
 	cr.FieldsPerRecord = -1
 
-	byEntity := map[string][]sample{}
+	// Pointer-valued buffers: the per-row hot path does one map lookup
+	// and appends through the pointer, instead of a lookup plus a map
+	// re-assignment per row. Growth inside append is geometric; the final
+	// per-entity storage is shrunk to exact size below.
+	byEntity := map[string]*entityBuf{}
 	var order []string
 	line := 0
 	for {
@@ -149,10 +153,13 @@ func ReadCSVStats(r io.Reader, kind EntityKind) ([]*EntitySeries, ReadStats, err
 		if !ok {
 			continue
 		}
-		if _, seen := byEntity[rec[0]]; !seen {
+		eb := byEntity[rec[0]]
+		if eb == nil {
+			eb = &entityBuf{samples: make([]sample, 0, 16)}
+			byEntity[rec[0]] = eb
 			order = append(order, rec[0])
 		}
-		byEntity[rec[0]] = append(byEntity[rec[0]], s)
+		eb.samples = append(eb.samples, s)
 		st.Rows++
 	}
 	if st.Skipped > 0 {
@@ -167,9 +174,9 @@ func ReadCSVStats(r io.Reader, kind EntityKind) ([]*EntitySeries, ReadStats, err
 		return nil, st, nil
 	}
 
-	var out []*EntitySeries
+	out := make([]*EntitySeries, 0, len(order))
 	for _, id := range order {
-		samples := byEntity[id]
+		samples := byEntity[id].samples
 		sort.SliceStable(samples, func(a, b int) bool { return samples[a].ts < samples[b].ts })
 		// Drop duplicate timestamps (keep the first occurrence): two rows
 		// claiming the same instant cannot both be real.
@@ -183,8 +190,13 @@ func ReadCSVStats(r io.Reader, kind EntityKind) ([]*EntitySeries, ReadStats, err
 			kept = append(kept, s)
 		}
 		e := &EntitySeries{ID: id, Kind: kind, Interval: inferInterval(kept)}
+		// One exact-size slab for all eight indicator series (the final
+		// shrink): a single allocation instead of NumIndicators, and the
+		// append-time over-capacity in samples is released here.
+		n := len(kept)
+		slab := make([]float64, NumIndicators*n)
 		for i := range e.Metrics {
-			e.Metrics[i] = make([]float64, len(kept))
+			e.Metrics[i] = slab[i*n : (i+1)*n : (i+1)*n]
 		}
 		for t, s := range kept {
 			for i := 0; i < NumIndicators; i++ {
@@ -194,6 +206,11 @@ func ReadCSVStats(r io.Reader, kind EntityKind) ([]*EntitySeries, ReadStats, err
 		out = append(out, e)
 	}
 	return out, st, nil
+}
+
+// entityBuf accumulates one entity's rows during a CSV load.
+type entityBuf struct {
+	samples []sample
 }
 
 // sample is one parsed CSV row.

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation defeats escape analysis, so allocation-count
+// assertions are skipped under -race.
+const raceEnabled = true

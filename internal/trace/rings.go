@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"sync"
+)
+
+// Ring is a fixed-capacity sliding sample buffer for one entity, built
+// for the streaming ingestion path: ScanCSV (or an ingest endpoint)
+// appends samples as they arrive, and the serving layer reads the
+// trailing window straight out of the buffer with no copy.
+//
+// Storage is mirrored: each indicator's backing slice is twice the
+// capacity and every append writes the sample at position i and i+cap.
+// Any trailing window of up to cap samples is therefore one contiguous
+// slice per indicator, so Window returns views, never copies.
+//
+// Ring is not synchronized; RingStore serializes access per entity.
+type Ring struct {
+	capacity int
+	count    int // total accepted samples, monotonic
+	firstTS  int
+	lastTS   int
+	data     [NumIndicators][]float64 // mirrored, len 2*capacity
+	views    [][]float64              // reused Window return value
+}
+
+// NewRing creates a ring holding the most recent capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	r := &Ring{capacity: capacity, views: make([][]float64, NumIndicators)}
+	for i := range r.data {
+		r.data[i] = make([]float64, 2*capacity)
+	}
+	return r
+}
+
+// Append adds one sample. Timestamps must strictly advance: a sample at
+// or before the newest accepted one is rejected (returns false) —
+// streaming replaces the batch loader's sort-and-dedup pass with this
+// monotonicity gate.
+func (r *Ring) Append(ts int, vals *[NumIndicators]float64) bool {
+	if r.count > 0 && ts <= r.lastTS {
+		return false
+	}
+	pos := r.count % r.capacity
+	for i := 0; i < NumIndicators; i++ {
+		r.data[i][pos] = vals[i]
+		r.data[i][pos+r.capacity] = vals[i]
+	}
+	if r.count == 0 {
+		r.firstTS = ts
+	}
+	r.lastTS = ts
+	r.count++
+	return true
+}
+
+// Len returns the number of samples currently held (≤ capacity).
+func (r *Ring) Len() int {
+	if r.count < r.capacity {
+		return r.count
+	}
+	return r.capacity
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return r.capacity }
+
+// Total returns the number of samples ever accepted.
+func (r *Ring) Total() int { return r.count }
+
+// LastTS returns the newest accepted timestamp (meaningless before the
+// first Append).
+func (r *Ring) LastTS() int { return r.lastTS }
+
+// Interval estimates the sampling interval from the accepted span,
+// defaulting to 10s before two samples arrive (matching inferInterval).
+func (r *Ring) Interval() int {
+	if r.count < 2 {
+		return 10
+	}
+	d := (r.lastTS - r.firstTS) / (r.count - 1)
+	if d <= 0 {
+		return 10
+	}
+	return d
+}
+
+// Window returns per-indicator views of the most recent n samples in
+// canonical indicator order, oldest first. n is clamped to Len. The
+// returned slice-of-slices is reused across calls and the views alias
+// the ring's storage: both are valid only until the next Append or
+// Window on this ring.
+func (r *Ring) Window(n int) [][]float64 {
+	if n > r.Len() {
+		n = r.Len()
+	}
+	end := (r.count-1)%r.capacity + r.capacity + 1
+	for i := range r.views {
+		r.views[i] = r.data[i][end-n : end]
+	}
+	return r.views
+}
+
+// RingStore holds one Ring per entity and is the bridge between
+// streaming ingestion and serving: ScanCSV's callback feeds Ingest, and
+// the forecaster reads windows via WithWindow. It is safe for concurrent
+// use.
+type RingStore struct {
+	mu       sync.RWMutex
+	capacity int
+	rings    map[string]*ringEntry
+	order    []string
+}
+
+type ringEntry struct {
+	mu   sync.Mutex
+	ring *Ring
+}
+
+// NewRingStore creates a store whose rings hold capacity samples each.
+func NewRingStore(capacity int) *RingStore {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &RingStore{capacity: capacity, rings: map[string]*ringEntry{}}
+}
+
+// Ingest routes one sample to its entity's ring, creating the ring on
+// first sight. The entity key is a byte view (as handed out by ScanCSV);
+// the hot path — a sample for an already-known entity — allocates
+// nothing: the map lookup uses the compiler's string([]byte) key
+// optimization and the ID string is materialized only on first sight.
+// Returns false when the ring rejected the sample (non-advancing
+// timestamp).
+func (s *RingStore) Ingest(entity []byte, ts int, vals *[NumIndicators]float64) bool {
+	s.mu.RLock()
+	e := s.rings[string(entity)]
+	s.mu.RUnlock()
+	if e == nil {
+		e = s.create(string(entity))
+	}
+	e.mu.Lock()
+	ok := e.ring.Append(ts, vals)
+	e.mu.Unlock()
+	return ok
+}
+
+// IngestString is Ingest for callers that already hold the ID as a
+// string (e.g. a JSON ingest endpoint).
+func (s *RingStore) IngestString(entity string, ts int, vals *[NumIndicators]float64) bool {
+	s.mu.RLock()
+	e := s.rings[entity]
+	s.mu.RUnlock()
+	if e == nil {
+		e = s.create(entity)
+	}
+	e.mu.Lock()
+	ok := e.ring.Append(ts, vals)
+	e.mu.Unlock()
+	return ok
+}
+
+func (s *RingStore) create(id string) *ringEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.rings[id]; e != nil {
+		return e
+	}
+	e := &ringEntry{ring: NewRing(s.capacity)}
+	s.rings[id] = e
+	s.order = append(s.order, id)
+	return e
+}
+
+// Entities returns the entity IDs in first-seen order (copy).
+func (s *RingStore) Entities() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Len returns the number of entities with at least one sample.
+func (s *RingStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rings)
+}
+
+// WithWindow runs fn with zero-copy views of the entity's most recent n
+// samples (clamped to what the ring holds), holding the entity's lock so
+// concurrent Ingest calls cannot mutate the window mid-read. fn must not
+// retain the views. Returns false if the entity is unknown.
+func (s *RingStore) WithWindow(entity string, n int, fn func(win [][]float64, interval, lastTS int)) bool {
+	s.mu.RLock()
+	e := s.rings[entity]
+	s.mu.RUnlock()
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	fn(e.ring.Window(n), e.ring.Interval(), e.ring.LastTS())
+	e.mu.Unlock()
+	return true
+}
+
+// SampleCount returns how many samples the entity's ring currently
+// holds, or 0 for an unknown entity.
+func (s *RingStore) SampleCount(entity string) int {
+	s.mu.RLock()
+	e := s.rings[entity]
+	s.mu.RUnlock()
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ring.Len()
+}

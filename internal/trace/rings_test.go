@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func ringVals(base float64) *[NumIndicators]float64 {
+	var v [NumIndicators]float64
+	for i := range v {
+		v[i] = base + float64(i)/10
+	}
+	return &v
+}
+
+// TestRingWindowContiguity fills a ring past wraparound and checks every
+// trailing window is the correct, oldest-first view at every fill level.
+func TestRingWindowContiguity(t *testing.T) {
+	const capacity = 4
+	r := NewRing(capacity)
+	for s := 1; s <= 11; s++ {
+		if !r.Append(s*10, ringVals(float64(s))) {
+			t.Fatalf("append %d rejected", s)
+		}
+		held := s
+		if held > capacity {
+			held = capacity
+		}
+		if r.Len() != held {
+			t.Fatalf("after %d appends Len = %d, want %d", s, r.Len(), held)
+		}
+		for n := 1; n <= held; n++ {
+			win := r.Window(n)
+			if len(win) != NumIndicators {
+				t.Fatalf("window has %d series", len(win))
+			}
+			for i := 0; i < NumIndicators; i++ {
+				if len(win[i]) != n {
+					t.Fatalf("window(%d) series %d has %d samples", n, i, len(win[i]))
+				}
+				for j := 0; j < n; j++ {
+					want := float64(s-n+1+j) + float64(i)/10
+					if win[i][j] != want {
+						t.Fatalf("after %d appends window(%d)[%d][%d] = %g, want %g",
+							s, n, i, j, win[i][j], want)
+					}
+				}
+			}
+		}
+	}
+	// Requests beyond what the ring holds clamp to Len.
+	if got := r.Window(99); len(got[0]) != capacity {
+		t.Fatalf("oversized window has %d samples, want %d", len(got[0]), capacity)
+	}
+}
+
+// TestRingRejectsNonAdvancingTimestamps pins the streaming replacement
+// for the batch loader's sort-and-dedup pass.
+func TestRingRejectsNonAdvancingTimestamps(t *testing.T) {
+	r := NewRing(8)
+	if !r.Append(10, ringVals(1)) {
+		t.Fatal("first append rejected")
+	}
+	if r.Append(10, ringVals(2)) {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	if r.Append(5, ringVals(3)) {
+		t.Fatal("regressing timestamp accepted")
+	}
+	if !r.Append(20, ringVals(4)) {
+		t.Fatal("advancing append rejected")
+	}
+	if r.Len() != 2 || r.LastTS() != 20 {
+		t.Fatalf("len=%d lastTS=%d", r.Len(), r.LastTS())
+	}
+	if got := r.Window(2); got[0][0] != 1 || got[0][1] != 4 {
+		t.Fatalf("window = %v: rejected samples leaked in", got[0])
+	}
+}
+
+// TestRingInterval checks interval estimation over the accepted span.
+func TestRingInterval(t *testing.T) {
+	r := NewRing(4)
+	if r.Interval() != 10 {
+		t.Fatalf("default interval = %d, want 10", r.Interval())
+	}
+	r.Append(0, ringVals(1))
+	r.Append(30, ringVals(2))
+	r.Append(60, ringVals(3))
+	if r.Interval() != 30 {
+		t.Fatalf("interval = %d, want 30", r.Interval())
+	}
+}
+
+// TestRingStoreIngestAndWindow drives the store through the ScanCSV
+// callback shape and reads windows back.
+func TestRingStoreIngestAndWindow(t *testing.T) {
+	s := NewRingStore(4)
+	for i := 1; i <= 6; i++ {
+		if !s.Ingest([]byte("m_1"), i*10, ringVals(float64(i))) {
+			t.Fatalf("ingest %d rejected", i)
+		}
+	}
+	s.IngestString("m_2", 10, ringVals(100))
+	if s.Len() != 2 {
+		t.Fatalf("entities = %d", s.Len())
+	}
+	if ids := s.Entities(); len(ids) != 2 || ids[0] != "m_1" || ids[1] != "m_2" {
+		t.Fatalf("order = %v", ids)
+	}
+	ok := s.WithWindow("m_1", 3, func(win [][]float64, interval, lastTS int) {
+		if lastTS != 60 || interval != 10 {
+			t.Fatalf("lastTS=%d interval=%d", lastTS, interval)
+		}
+		if win[0][0] != 4 || win[0][1] != 5 || win[0][2] != 6 {
+			t.Fatalf("window = %v", win[0])
+		}
+	})
+	if !ok {
+		t.Fatal("known entity reported missing")
+	}
+	if s.WithWindow("nope", 3, func([][]float64, int, int) {}) {
+		t.Fatal("unknown entity reported present")
+	}
+	if s.SampleCount("m_1") != 4 || s.SampleCount("nope") != 0 {
+		t.Fatalf("sample counts: %d, %d", s.SampleCount("m_1"), s.SampleCount("nope"))
+	}
+}
+
+// TestRingStoreConcurrentIngest hammers the store from many goroutines
+// (run under -race in CI) and checks per-entity integrity after.
+func TestRingStoreConcurrentIngest(t *testing.T) {
+	const writers, samples = 8, 200
+	s := NewRingStore(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := []byte{'m', '_', byte('a' + w)}
+			for i := 1; i <= samples; i++ {
+				s.Ingest(id, i, ringVals(float64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != writers {
+		t.Fatalf("entities = %d, want %d", s.Len(), writers)
+	}
+	for _, id := range s.Entities() {
+		s.WithWindow(id, 64, func(win [][]float64, _, lastTS int) {
+			if lastTS != samples || len(win[0]) != 64 {
+				t.Fatalf("%s: lastTS=%d len=%d", id, lastTS, len(win[0]))
+			}
+			for j, v := range win[0] {
+				if want := float64(samples - 64 + 1 + j); v != want {
+					t.Fatalf("%s: window[%d] = %g, want %g", id, j, v, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRingStoreIngestZeroAlloc pins the hot-path claim: a sample for an
+// already-known entity allocates nothing.
+func TestRingStoreIngestZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation defeats escape analysis; allocation counts are meaningless")
+	}
+	s := NewRingStore(32)
+	id := []byte("m_hot")
+	vals := ringVals(1)
+	ts := 0
+	s.Ingest(id, ts, vals)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ts++
+		s.Ingest(id, ts, vals)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path ingest allocates %.2f per sample, want 0", allocs)
+	}
+}
