@@ -1,0 +1,143 @@
+// Adapt mode (-adapt): instead of the fleet-telemetry check, drive the
+// online-adaptation loop end to end against a running rptcnd started
+// with -adapt (and, for CI cadences, -quality-fast):
+//
+//  1. generate a synthetic series with a regime mutation injected at
+//     -mutate-at (deterministic by -seed),
+//  2. stream the mutated tail into the server's ingestion rings (the
+//     candidate's training data),
+//  3. replay forecasts over the mutated regime with entity+t so the
+//     requests' own self-join actuals resolve earlier forecasts —
+//     feeding the mutation detector, the shadow scorer, and probation,
+//  4. poll /debug/adapt until a hot-swap lands.
+//
+// The command exits non-zero unless a swap occurs before -adapt-wait,
+// every replayed request returned 200 (zero dropped requests across the
+// swap), and /v1/model reports generation ≥ 2 with an adapt snapshot.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func runAdapt(client *http.Client, addr string, samples, mutateAt, hist int, seed uint64, wait time.Duration,
+	fail func(string, ...any)) {
+	if mutateAt+hist >= samples {
+		fail("adapt: -mutate-at %d + -window %d leaves no mutated samples to replay (have %d)", mutateAt, hist, samples)
+	}
+	ser := trace.GenerateWithMutations(samples, []int{mutateAt}, seed)
+
+	// The mutated tail becomes the rings' content — what a resource
+	// manager's monitoring stream would have delivered since the regime
+	// changed, and what the candidate fine-tunes on.
+	tail := &trace.EntitySeries{ID: ser.ID, Kind: ser.Kind, Interval: ser.Interval}
+	for i := range tail.Metrics {
+		tail.Metrics[i] = ser.Metrics[i][mutateAt:]
+	}
+	var csv bytes.Buffer
+	if err := trace.WriteCSV(&csv, []*trace.EntitySeries{tail}); err != nil {
+		fail("adapt: write csv: %v", err)
+	}
+	resp, err := client.Post(addr+"/v1/ingest", "text/csv", &csv)
+	if err != nil {
+		fail("adapt: ingest: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("adapt: ingest status %d (is rptcnd running with ingestion enabled?)", resp.StatusCode)
+	}
+
+	adaptStatus := func() adapt.Status {
+		resp, err := client.Get(addr + "/debug/adapt")
+		if err != nil {
+			fail("adapt: fetch /debug/adapt: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("adapt: /debug/adapt status %d (was rptcnd started with -adapt?)", resp.StatusCode)
+		}
+		var st adapt.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			fail("adapt: decode /debug/adapt: %v", err)
+		}
+		return st
+	}
+	adaptStatus() // fail fast when adaptation is off
+
+	// Replay forecasts across the mutated regime until the supervisor
+	// reports a swap. Re-walking the same span on later passes is safe:
+	// duplicate forecasts replace their earlier selves and repeated
+	// actuals resolve nothing new, but the shadow scorer keeps getting
+	// fresh mirrors while the candidate trains.
+	deadline := time.Now().Add(wait)
+	requests, swapped := 0, false
+	var st adapt.Status
+	for pass := 1; !swapped; pass++ {
+		for s0 := mutateAt + hist; s0 < samples && !swapped; s0++ {
+			win := make([][]float64, trace.NumIndicators)
+			for i := range win {
+				win[i] = ser.Metrics[i][s0-hist : s0]
+			}
+			tt := int64(s0 - 1)
+			raw, err := json.Marshal(server.ForecastRequest{Indicators: win, Entity: ser.ID, T: &tt})
+			if err != nil {
+				fail("adapt: marshal request: %v", err)
+			}
+			resp, err := client.Post(addr+"/v1/forecast", "application/json", strings.NewReader(string(raw)))
+			if err != nil {
+				fail("adapt: forecast %d: %v", requests, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("adapt: forecast %d: status %d — a request was dropped across the swap", requests, resp.StatusCode)
+			}
+			requests++
+			if requests%8 == 0 {
+				if st = adaptStatus(); st.Swaps >= 1 {
+					swapped = true
+				}
+			}
+		}
+		if !swapped {
+			if st = adaptStatus(); st.Swaps >= 1 {
+				swapped = true
+			}
+		}
+		if !swapped && time.Now().After(deadline) {
+			fail("adapt: no hot-swap after %d requests over %d passes (state %q, retrains %d, failures %d, alarm %v)",
+				requests, pass, st.State, st.Retrains, st.Failures, st.Alarm)
+		}
+	}
+
+	// The swap must be visible on the model surface too.
+	resp, err = client.Get(addr + "/v1/model")
+	if err != nil {
+		fail("adapt: fetch /v1/model: %v", err)
+	}
+	defer resp.Body.Close()
+	var info server.ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		fail("adapt: decode /v1/model: %v", err)
+	}
+	if info.Generation < 2 {
+		fail("adapt: /v1/model generation = %d, want ≥ 2 after a swap", info.Generation)
+	}
+	if info.Adapt == nil || info.Adapt.Swaps < 1 || info.Adapt.LastSwapUnix == 0 {
+		fail("adapt: /v1/model adapt snapshot missing or swapless: %+v", info.Adapt)
+	}
+
+	fmt.Printf("adaptation OK: swap after %d requests (all 200), generation %d, state %s, retrains %d, rollbacks %d\n",
+		requests, info.Generation, st.State, st.Retrains, st.Rollbacks)
+}

@@ -45,6 +45,11 @@ func main() {
 		window   = flag.Int("window", 64, "history samples per request")
 		seed     = flag.Uint64("seed", 7, "synthetic workload seed")
 		wait     = flag.Duration("wait", 60*time.Second, "how long to wait for /readyz before giving up")
+
+		adaptMode = flag.Bool("adapt", false, "drive the online-adaptation loop instead: ingest a mutated trace, replay it, and require a hot-swap (see adapt.go)")
+		samples   = flag.Int("samples", 900, "adapt mode: synthetic series length")
+		mutateAt  = flag.Int("mutate-at", 500, "adapt mode: sample index where the regime mutation is injected")
+		adaptWait = flag.Duration("adapt-wait", 120*time.Second, "adapt mode: how long to wait for a hot-swap before failing")
 	)
 	flag.Parse()
 
@@ -69,6 +74,11 @@ func main() {
 			fail("server at %s not ready after %s", *addr, *wait)
 		}
 		time.Sleep(500 * time.Millisecond)
+	}
+
+	if *adaptMode {
+		runAdapt(client, *addr, *samples, *mutateAt, *window, *seed, *adaptWait, fail)
+		return
 	}
 
 	// One synthetic series per entity; the request history is its tail.

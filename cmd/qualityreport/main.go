@@ -51,6 +51,11 @@ func main() {
 		runDir    = flag.String("rundir", "", "also write drift/SLO journal events (JSONL) under this directory")
 		reqDetect = flag.Bool("require-detect", false, "exit non-zero unless every injected mutation is detected in tolerance with no false alarms")
 		reqDrift  = flag.Bool("require-drift", false, "exit non-zero unless input drift reaches the alarm state")
+
+		adaptMode  = flag.Bool("adapt", false, "mutation-recovery study: replay with a live adapt supervisor vs a frozen control (single -mutations point; see adapt.go)")
+		reqRecover = flag.Bool("require-recovery", false, "adapt mode: exit non-zero unless post-swap MAE returns within the recovery factor of the clean baseline while the frozen control stays degraded")
+		outPath    = flag.String("out", "", "adapt mode: also write the recovery report to this file")
+		ftEpochs   = flag.Int("finetune-epochs", 0, "adapt mode: candidate fine-tune epochs (0 = same as -epochs)")
 	)
 	flag.Parse()
 	log := obs.Logger("qualityreport")
@@ -65,6 +70,24 @@ func main() {
 	}
 	if len(points) > 0 && *trainN >= points[0] {
 		fatal("configure", fmt.Errorf("-train %d overlaps first mutation at %d", *trainN, points[0]))
+	}
+	if *adaptMode {
+		if len(points) != 1 {
+			fatal("configure", fmt.Errorf("-adapt needs exactly one mutation point (a persistent regime flip), got %v; e.g. -mutations 600", points))
+		}
+		fe := *ftEpochs
+		if fe <= 0 {
+			fe = *epochs
+		}
+		runAdaptReplay(adaptReplayConfig{
+			samples: *samples, trainN: *trainN, mutateAt: points[0],
+			window: *window, horizon: *horizon, epochs: *epochs,
+			stride: *stride, histLen: *histLen, seed: *seed,
+			runDir: *runDir, outPath: *outPath, requireRecovery: *reqRecover,
+			minShadow: 12, probation: 12, fineTuneEpochs: fe,
+			recoverFactor: 1.10, degradedThreshold: 1.10,
+		})
+		return
 	}
 	rules, err := quality.ParseRules(*sloSpec)
 	if err != nil {

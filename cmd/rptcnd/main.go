@@ -7,6 +7,7 @@
 //	rptcnd -input trace.csv -entity c_10000 -scenario mul-exp
 //	rptcnd -synthetic -debug-addr :6060   # pprof + expvar + trace sidecar
 //	rptcnd -synthetic -trace -rundir runs # span traces + JSONL run journal
+//	rptcnd -synthetic -adapt -adapt-dir adapt-state   # drift-adaptive online retraining
 //
 // Then:
 //
@@ -18,6 +19,7 @@
 //	curl -X POST localhost:8080/v1/observe -d '{"entity": "c1", "t0": 1235, "values": [42.1, 40.8]}'
 //	curl localhost:8080/debug/quality      # live accuracy, drift, and SLO status (add ?format=html)
 //	curl localhost:8080/debug/fleet        # per-entity sketches, exemplars, trace sampling (add ?format=html)
+//	curl localhost:8080/debug/adapt        # online-adaptation state: generation, shadow gates, rollbacks (with -adapt)
 //	curl localhost:8080/debug              # index of every diagnostic endpoint
 //	curl localhost:8080/debug/traces      # tail-sampled span journal (with -trace)
 //	go run ./cmd/rptcntop                 # live terminal ops dashboard
@@ -40,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/runlog"
@@ -79,6 +82,17 @@ func main() {
 		f32         = flag.Bool("f32", false, "serve on the float32 SIMD tier (validated against the f64 oracle; refused if out of bounds)")
 		keepEvery   = flag.Int("trace-keep-every", 1, "tail sampling: retain 1 in N boring traces (errors/slow/degraded always kept; 1 keeps all)")
 		slowTrace   = flag.Duration("trace-slow", 250*time.Millisecond, "tail sampling: always retain traces at least this slow")
+
+		ringCap     = flag.Int("ring-capacity", 0, "samples retained per ingested entity (0 = auto: 2x the model's minimum history, grown to cover -adapt-min-samples)")
+		maxEntities = flag.Int("max-entities", 0, "max entities with ring state; beyond it the least-recently-touched ring is evicted (0 = unbounded)")
+
+		adaptOn      = flag.Bool("adapt", false, "drift-adaptive online retraining: background fine-tune on drift/mutation, shadow-evaluate, hot-swap (needs streaming ingestion for training data)")
+		adaptDir     = flag.String("adapt-dir", "adapt-state", "crash-safe supervisor state and candidate checkpoints live here")
+		adaptMinSamp = flag.Int("adapt-min-samples", 0, "ring samples required before a retrain starts (0 = 4x the model's minimum history)")
+		adaptShadow  = flag.Int("adapt-shadow", 0, "resolved shadow forecasts required before the promotion gate is judged (0 = 32)")
+		adaptMargin  = flag.Float64("adapt-margin", 0, "promotion margin: candidate shadow MAE must beat live MAE by this fraction (0 = 0.02)")
+		adaptCool    = flag.Duration("adapt-cooldown", 0, "minimum time between swaps (0 = 60s)")
+		qualityFast  = flag.Bool("quality-fast", false, "tune the mutation/drift detectors for compressed replays (small median/warmup windows); for demos and CI, not production cadences")
 	)
 	flag.Parse()
 	log := obs.Logger("rptcnd")
@@ -100,13 +114,32 @@ func main() {
 	if err != nil {
 		fatal("parse -slo", err)
 	}
-	resilience := server.ResilienceConfig{
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: *reqTimeout,
+	scfg := serveConfig{
+		addr:      *addr,
+		debugAddr: *debugAddr,
+		res: server.ResilienceConfig{
+			MaxInFlight:    *maxInflight,
+			RequestTimeout: *reqTimeout,
+		},
+		batch: server.BatchConfig{
+			MaxBatch: *maxBatch,
+			MaxDelay: *maxDelay,
+		},
+		slo:         sloRules,
+		runDir:      *runDir,
+		fleetK:      *fleetK,
+		f32:         *f32,
+		qualityFast: *qualityFast,
+		ingest:      server.IngestConfig{RingCapacity: *ringCap, MaxEntities: *maxEntities},
 	}
-	batching := server.BatchConfig{
-		MaxBatch: *maxBatch,
-		MaxDelay: *maxDelay,
+	if *adaptOn {
+		scfg.adapt = &adapt.Config{
+			Dir:               *adaptDir,
+			MinSamples:        *adaptMinSamp,
+			MinShadowResolved: *adaptShadow,
+			PromoteMargin:     *adaptMargin,
+			Cooldown:          *adaptCool,
+		}
 	}
 
 	if *loadModel != "" {
@@ -119,7 +152,7 @@ func main() {
 		if err != nil {
 			fatal("load model", err)
 		}
-		serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK, *f32)
+		serve(log, p, scfg)
 		return
 	}
 
@@ -235,12 +268,27 @@ func main() {
 	if err := journal.Close(); err != nil {
 		log.Error("run journal", "err", err)
 	}
-	serve(log, *addr, *debugAddr, p, resilience, batching, sloRules, *runDir, *fleetK, *f32)
+	serve(log, p, scfg)
 }
 
-func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res server.ResilienceConfig,
-	batch server.BatchConfig, sloRules []quality.Rule, runDir string, fleetK int, f32 bool) {
-	if f32 {
+// serveConfig carries every serving-side knob from flag parsing to
+// serve(), so the training and -load paths stay symmetric.
+type serveConfig struct {
+	addr, debugAddr string
+	res             server.ResilienceConfig
+	batch           server.BatchConfig
+	slo             []quality.Rule
+	runDir          string
+	fleetK          int
+	f32             bool
+	qualityFast     bool
+	ingest          server.IngestConfig
+	adapt           *adapt.Config // nil: adaptation off
+}
+
+func serve(log *slog.Logger, p *core.Predictor, sc serveConfig) {
+	addr, debugAddr, runDir := sc.addr, sc.debugAddr, sc.runDir
+	if sc.f32 {
 		// Gated opt-in: the tier only activates when the f32 forecasts
 		// validate against the f64 oracle on the held-out split; a refusal
 		// (out-of-bound error, or a -load'ed predictor without retained
@@ -271,12 +319,41 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 		log.Info("journaling serving-quality events", "path", journal.Path())
 	}
 
-	handler := server.New(p, server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
-		server.WithResilience(res), server.WithBatching(batch),
-		server.WithQualityConfig(quality.Config{Rules: sloRules}),
+	qcfg := quality.Config{Rules: sc.slo}
+	if sc.qualityFast {
+		// Compressed-replay tuning: detectors that flip within tens of
+		// requests instead of hundreds (same constants qualityreport's
+		// replay uses). Production cadences want the defaults.
+		qcfg.Mutation = quality.MutationConfig{MedianWidth: 5, Warmup: 16, Cooldown: 8, Alpha: 0.25, Delta: 3, Lambda: 50}
+		qcfg.InputDrift = quality.DriftConfig{Baseline: 16, Alpha: 0.5, MinStd: 0.02}
+	}
+	if sc.adapt != nil {
+		// The supervisor retrains from the ingestion rings, so a ring must
+		// be able to hold a full training set: grow the default capacity to
+		// twice the retrain minimum.
+		minSamples := sc.adapt.MinSamples
+		if minSamples <= 0 {
+			minSamples = 4 * p.MinHistory()
+		}
+		if sc.ingest.RingCapacity <= 0 && !sc.ingest.Disabled {
+			sc.ingest.RingCapacity = 2 * minSamples
+		}
+		log.Info("online adaptation enabled",
+			"dir", sc.adapt.Dir, "min_samples", minSamples, "ring_capacity", sc.ingest.RingCapacity)
+	}
+	opts := []server.Option{
+		server.WithRegistry(reg), server.WithTracer(obstrace.Default()),
+		server.WithResilience(sc.res), server.WithBatching(sc.batch),
+		server.WithQualityConfig(qcfg),
 		server.WithJournal(journal),
-		server.WithFleetTelemetry(server.FleetConfig{Disabled: fleetK <= 0, K: fleetK}),
-		server.WithDebugAddr(debugAddr))
+		server.WithIngest(sc.ingest),
+		server.WithFleetTelemetry(server.FleetConfig{Disabled: sc.fleetK <= 0, K: sc.fleetK}),
+		server.WithDebugAddr(debugAddr),
+	}
+	if sc.adapt != nil {
+		opts = append(opts, server.WithAdaptation(*sc.adapt))
+	}
+	handler := server.New(p, opts...)
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -310,8 +387,11 @@ func serve(log *slog.Logger, addr, debugAddr string, p *core.Predictor, res serv
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Info("serving forecasts", "addr", addr,
-		"endpoints", "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/ingest, GET /v1/forecast/{entity}, GET /v1/entities, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet")
+	endpoints := "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/ingest, GET /v1/forecast/{entity}, GET /v1/entities, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet"
+	if sc.adapt != nil {
+		endpoints += ", GET /debug/adapt"
+	}
+	log.Info("serving forecasts", "addr", addr, "endpoints", endpoints)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,779 @@
+// Package adapt closes RPTCN's high-dynamic loop: when the online
+// quality engine (internal/quality) detects a mutation point or drift
+// escalation, the supervisor fine-tunes a CANDIDATE model in the
+// background on recent windows from the ingestion ring store, scores it
+// against live traffic in shadow (mirrored forecasts, never returned to
+// clients), and atomically hot-swaps it into serving only when the
+// promotion gates pass. A probation window after every swap watches the
+// new generation's live error and rolls back to the previous weights if
+// quality regresses — adaptation can only ever be a no-op or an
+// improvement from the caller's perspective, never a new failure mode.
+//
+// Robustness contract:
+//   - The request path is never blocked: every input is a non-blocking
+//     enqueue onto a bounded queue (overflow counted, dropped), and the
+//     swap itself is one short critical section on the predictor's
+//     serving lock.
+//   - One retrain in flight, ever. Failures retry with bounded
+//     exponential backoff; exhausting the budget raises the
+//     rptcn_adapt_alarm gauge and serving continues on the old weights.
+//   - Cooldown between swaps bounds churn under detector flapping.
+//   - Counters and lifecycle state persist crash-safely under the run
+//     dir (internal/fsx); a restart discards any in-flight candidate
+//     (its artifacts are pruned) and resumes from idle.
+//
+// The supervisor runs on a single worker goroutine and is fully
+// deterministic given the same event sequence; candidate training reuses
+// train.Fit's crash-safe checkpoints, divergence guards, and
+// deterministic RNG streams, so a retrain is reproducible bit for bit.
+package adapt
+
+import (
+	"errors"
+	"log/slog"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/runlog"
+	"repro/internal/quality"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// Config configures a Supervisor. Predictor and Rings are required.
+type Config struct {
+	// Predictor is the serving predictor to adapt.
+	Predictor *core.Predictor
+	// Rings is the recent-history source candidates train on.
+	Rings *trace.RingStore
+	// Dir, when set, holds crash-safe supervisor state
+	// (adapt-state.json) and candidate training checkpoints
+	// (candidates/). Empty runs fully in-memory.
+	Dir string
+	// MinSamples is the fewest ring samples an entity needs before its
+	// history is worth retraining on (default 4× the predictor's
+	// MinHistory, so the supervised split has real windows on each side).
+	MinSamples int
+	// FineTune tunes candidate training; zero values inherit the
+	// predictor's hyperparameters (see core.FineTuneConfig). The Guard
+	// is forced on — a diverging fine-tune must self-heal — and the
+	// checkpoint dir is pointed at Dir/candidates when Dir is set.
+	FineTune core.FineTuneConfig
+	// MinShadowResolved is how many mirrored forecasts must resolve
+	// against ground truth before the promotion verdict (default 32).
+	MinShadowResolved int
+	// PromoteMargin is the relative MAE improvement the candidate must
+	// show: promoted iff shadowMAE ≤ liveMAE × (1 − PromoteMargin)
+	// (default 0.02).
+	PromoteMargin float64
+	// ProbationResolved is how many post-swap live pairs decide the
+	// rollback verdict (default MinShadowResolved).
+	ProbationResolved int
+	// RollbackFactor triggers rollback when the post-swap live MAE
+	// exceeds the pre-swap live MAE × RollbackFactor (default 1.10).
+	RollbackFactor float64
+	// MaxRetries bounds consecutive retrain failures before the alarm
+	// raises and the supervisor goes idle (default 3).
+	MaxRetries int
+	// RetryBackoff is the first retry delay; it doubles per failure
+	// (default 2s).
+	RetryBackoff time.Duration
+	// Cooldown is the minimum gap between swaps; triggers inside it are
+	// ignored (default 60s).
+	Cooldown time.Duration
+	// MaxPending bounds the mirrored forecasts awaiting ground truth
+	// (default 4096).
+	MaxPending int
+	// QueueSize bounds the event queue (default 4096).
+	QueueSize int
+	// Registry receives rptcn_adapt_* metrics (default obs.Default()).
+	Registry *obs.Registry
+	// Journal, when set, receives runlog.TypeAdapt lifecycle events.
+	Journal *runlog.Run
+	// Log receives lifecycle messages (default obs.Logger("adapt")).
+	Log *slog.Logger
+	// Now is the clock (default time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Predictor == nil {
+		return errors.New("adapt: Config.Predictor is required")
+	}
+	if c.Rings == nil {
+		return errors.New("adapt: Config.Rings is required")
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4 * c.Predictor.MinHistory()
+	}
+	if c.MinShadowResolved <= 0 {
+		c.MinShadowResolved = 32
+	}
+	if c.PromoteMargin == 0 {
+		c.PromoteMargin = 0.02
+	}
+	if c.ProbationResolved <= 0 {
+		c.ProbationResolved = c.MinShadowResolved
+	}
+	if c.RollbackFactor == 0 {
+		c.RollbackFactor = 1.10
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Second
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 60 * time.Second
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4096
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	if c.Log == nil {
+		c.Log = obs.Logger("adapt")
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	c.FineTune.Guard.Enabled = true
+	if c.Dir != "" && c.FineTune.Checkpoint.Dir == "" {
+		c.FineTune.Checkpoint.Dir = filepath.Join(c.Dir, "candidates")
+	}
+	return nil
+}
+
+// Lifecycle states.
+const (
+	StateIdle      = "idle"
+	StateTraining  = "training"
+	StateShadow    = "shadow"
+	StateProbation = "probation"
+)
+
+func stateCode(s string) float64 {
+	switch s {
+	case StateTraining:
+		return 1
+	case StateShadow:
+		return 2
+	case StateProbation:
+		return 3
+	}
+	return 0
+}
+
+// event kinds.
+const (
+	evTrigger = iota
+	evMirror
+	evActuals
+	evStatus
+	evFlush
+)
+
+type event struct {
+	kind   int
+	entity string
+	t      int64
+	in     *core.PreparedInput // evMirror
+	values []float64           // evMirror: live forecast; evActuals: ground truth
+	reply  chan Status
+	done   chan struct{}
+}
+
+// trainResult is what the single in-flight retrain goroutine reports.
+type trainResult struct {
+	entity string
+	cand   *core.Model
+	eval   train.Dataset
+	err    error
+}
+
+// shadowPair is one mirrored horizon step awaiting ground truth.
+type shadowPair struct {
+	live, cand float64
+	hasCand    bool
+}
+
+// Supervisor is the drift-adaptive retraining loop. All exported
+// methods are safe for concurrent use and never block the caller.
+type Supervisor struct {
+	cfg Config
+
+	ch        chan event
+	trainDone chan trainResult // cap 1: one retrain in flight
+	retryCh   chan struct{}    // cap 1: one backoff timer in flight
+	stop      chan struct{}
+	stopped   chan struct{}
+	once      sync.Once
+
+	// mirroring is 1 while the worker wants mirrored forecasts/actuals
+	// (shadow or probation): the serve path checks it before paying for
+	// an enqueue, so adaptation is ~free while idle.
+	mirroring atomic.Bool
+
+	// Metrics.
+	stateG    *obs.Gauge
+	genG      *obs.Gauge
+	alarmG    *obs.Gauge
+	swapsC    *obs.Counter
+	rollbackC *obs.Counter
+	retrainOK *obs.Counter
+	retrainKO *obs.Counter
+	shadowC   *obs.Counter
+	droppedEv *obs.Counter
+
+	// Worker-owned state.
+	state        string
+	alarm        bool
+	swaps        uint64
+	rollbacks    uint64
+	retrains     uint64
+	failures     uint64
+	lastSwapUnix int64
+	cooldownEnd  time.Time
+	retry        int
+	retryTimer   *time.Timer
+
+	// Candidate under evaluation (shadow) and rollback capture
+	// (probation).
+	entity    string
+	candModel *core.Model
+	candEval  train.Dataset
+	inf       *core.Inferencer
+	pending   map[string]map[int64][]shadowPair
+	pendingN  int
+	shadowRes int
+	liveAbs   float64
+	candAbs   float64
+	prevModel *core.Model
+	prevEval  train.Dataset
+	probRes   int
+	probAbs   float64
+	baseMAE   float64 // pre-swap live MAE, the probation baseline
+}
+
+// New starts a supervisor (one worker goroutine; stop with Close). Any
+// candidate left behind by a crash is discarded: its checkpoints are
+// pruned and the persisted counters resume from disk with state idle —
+// the serving model is authoritative, a half-trained candidate never is.
+func New(cfg Config) (*Supervisor, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	s := &Supervisor{
+		cfg:       cfg,
+		ch:        make(chan event, cfg.QueueSize),
+		trainDone: make(chan trainResult, 1),
+		retryCh:   make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+		state:     StateIdle,
+		pending:   map[string]map[int64][]shadowPair{},
+		stateG: reg.Gauge("rptcn_adapt_state",
+			"Adaptation state: 0 idle, 1 training, 2 shadow, 3 probation."),
+		genG: reg.Gauge("rptcn_adapt_generation",
+			"Serving model generation (1 = original fit)."),
+		alarmG: reg.Gauge("rptcn_adapt_alarm",
+			"1 while retraining has exhausted its retry budget; serving continues on old weights."),
+		swapsC: reg.Counter("rptcn_adapt_swaps_total",
+			"Model hot-swaps performed (promotions and rollbacks)."),
+		rollbackC: reg.Counter("rptcn_adapt_rollbacks_total",
+			"Post-swap probation rollbacks to the previous generation."),
+		retrainOK: reg.Counter("rptcn_adapt_retrains_total",
+			"Background retrains, by result.", obs.L("result", "ok")),
+		retrainKO: reg.Counter("rptcn_adapt_retrains_total",
+			"Background retrains, by result.", obs.L("result", "failed")),
+		shadowC: reg.Counter("rptcn_adapt_shadow_forecasts_total",
+			"Candidate forecasts computed in shadow (never served)."),
+		droppedEv: reg.Counter("rptcn_adapt_dropped_events_total",
+			"Adaptation events dropped because the queue was full."),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.genG.Set(float64(cfg.Predictor.Generation()))
+	s.stateG.Set(stateCode(s.state))
+	if s.alarm {
+		s.alarmG.Set(1)
+	}
+	go s.run()
+	return s, nil
+}
+
+// OnQualityEvent is the quality.Config.Events subscription point: it
+// runs on the quality engine's worker goroutine, so it only enqueues.
+func (s *Supervisor) OnQualityEvent(ev quality.Event) {
+	// Only escalations trigger retraining: every mutation fire, and
+	// drift reaching alarm. A drift recovery ("ok") is not a reason to
+	// retrain.
+	if ev.Kind == "drift" && ev.State != "alarm" {
+		return
+	}
+	s.send(event{kind: evTrigger, entity: ev.Entity, t: ev.T})
+}
+
+// MirrorForecast mirrors one served forecast (with its prepared input)
+// for shadow/probation scoring. Cheap no-op unless the supervisor is
+// actively scoring; in must be immutable (core.PreparedInput is).
+func (s *Supervisor) MirrorForecast(entity string, t int64, in *core.PreparedInput, live []float64) {
+	if !s.mirroring.Load() || in == nil || len(live) == 0 {
+		return
+	}
+	vals := make([]float64, len(live))
+	copy(vals, live)
+	s.send(event{kind: evMirror, entity: entity, t: t, in: in, values: vals})
+}
+
+// ObserveActuals feeds ground truth: actuals[i] is the target
+// indicator's value at sample time t0+i. Cheap no-op unless scoring.
+func (s *Supervisor) ObserveActuals(entity string, t0 int64, actuals []float64) {
+	if !s.mirroring.Load() || len(actuals) == 0 {
+		return
+	}
+	vals := make([]float64, len(actuals))
+	copy(vals, actuals)
+	s.send(event{kind: evActuals, entity: entity, t: t0, values: vals})
+}
+
+func (s *Supervisor) send(ev event) {
+	select {
+	case s.ch <- ev:
+	case <-s.stopped:
+	default:
+		s.droppedEv.Inc()
+	}
+}
+
+// Flush blocks until every event enqueued before the call has been
+// processed (no-op after Close).
+func (s *Supervisor) Flush() {
+	done := make(chan struct{})
+	select {
+	case s.ch <- event{kind: evFlush, done: done}:
+	case <-s.stopped:
+		return
+	}
+	select {
+	case <-done:
+	case <-s.stopped:
+	}
+}
+
+// Status returns a consistent snapshot after draining already-enqueued
+// events. After Close it returns the zero status.
+func (s *Supervisor) Status() Status {
+	reply := make(chan Status, 1)
+	select {
+	case s.ch <- event{kind: evStatus, reply: reply}:
+	case <-s.stopped:
+		return Status{}
+	}
+	select {
+	case st := <-reply:
+		return st
+	case <-s.stopped:
+		return Status{}
+	}
+}
+
+// Close stops the worker and waits for it to exit. A retrain still in
+// flight is abandoned (its goroutine finishes into a buffered channel
+// and is garbage collected). Idempotent.
+func (s *Supervisor) Close() error {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.stopped
+	})
+	return nil
+}
+
+func (s *Supervisor) run() {
+	defer close(s.stopped)
+	defer func() {
+		if s.retryTimer != nil {
+			s.retryTimer.Stop()
+		}
+	}()
+	for {
+		select {
+		case ev := <-s.ch:
+			s.handle(ev)
+		case res := <-s.trainDone:
+			s.onTrainDone(res)
+		case <-s.retryCh:
+			s.startRetrain(s.entity)
+		case <-s.stop:
+			for {
+				select {
+				case ev := <-s.ch:
+					s.handle(ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Supervisor) handle(ev event) {
+	switch ev.kind {
+	case evTrigger:
+		s.onTrigger(ev)
+	case evMirror:
+		s.onMirror(ev)
+	case evActuals:
+		s.onActuals(ev)
+	case evStatus:
+		ev.reply <- s.buildStatus()
+	case evFlush:
+		close(ev.done)
+	}
+}
+
+// onTrigger starts a retrain for a quality escalation, unless one is
+// already in flight or the post-swap cooldown is still running.
+func (s *Supervisor) onTrigger(ev event) {
+	if s.state != StateIdle {
+		return
+	}
+	if s.cfg.Now().Before(s.cooldownEnd) {
+		s.journal("trigger_ignored", map[string]any{"reason": "cooldown", "entity": ev.entity, "t": ev.t})
+		return
+	}
+	s.retry = 0
+	s.startRetrain(ev.entity)
+}
+
+// startRetrain gathers training windows and spawns the (single)
+// fine-tune goroutine. Insufficient data counts as a failure and walks
+// the same bounded-retry backoff — rings may simply need to fill up.
+func (s *Supervisor) startRetrain(entity string) {
+	entity, series := s.gather(entity)
+	if series == nil {
+		s.onTrainDone(trainResult{entity: entity, err: errors.New("adapt: no entity with enough ring samples to retrain on")})
+		return
+	}
+	s.entity = entity
+	s.retrains++
+	s.setState(StateTraining)
+	s.journal("retrain_start", map[string]any{
+		"entity": entity, "samples": len(series[0]), "generation": s.cfg.Predictor.Generation(),
+		"attempt": s.retry + 1,
+	})
+	s.cfg.Log.Info("retraining candidate", "entity", entity,
+		"samples", len(series[0]), "attempt", s.retry+1)
+	ft := s.cfg.FineTune
+	p := s.cfg.Predictor
+	go func() {
+		cand, eval, _, err := p.FineTune(series, ft)
+		s.trainDone <- trainResult{entity: entity, cand: cand, eval: eval, err: err}
+	}()
+}
+
+// gather snapshots training history: the triggering entity's ring if it
+// is deep enough, else the deepest ring in the store.
+func (s *Supervisor) gather(entity string) (string, [][]float64) {
+	snap := func(id string) [][]float64 {
+		var out [][]float64
+		s.cfg.Rings.WithWindow(id, 1<<30, func(win [][]float64, _, _ int) {
+			if len(win) == 0 || len(win[0]) < s.cfg.MinSamples {
+				return
+			}
+			out = make([][]float64, len(win))
+			for i, row := range win {
+				out[i] = append([]float64(nil), row...)
+			}
+		})
+		return out
+	}
+	if entity != "" {
+		if ser := snap(entity); ser != nil {
+			return entity, ser
+		}
+	}
+	best, bestN := "", 0
+	for _, id := range s.cfg.Rings.Entities() {
+		if n := s.cfg.Rings.SampleCount(id); n > bestN {
+			best, bestN = id, n
+		}
+	}
+	if best != "" && best != entity {
+		if ser := snap(best); ser != nil {
+			return best, ser
+		}
+	}
+	return entity, nil
+}
+
+// onTrainDone moves a finished retrain into shadow, or schedules a
+// bounded-backoff retry, or raises the alarm.
+func (s *Supervisor) onTrainDone(res trainResult) {
+	if res.err != nil {
+		s.failures++
+		s.retrainKO.Inc()
+		s.journal("retrain_failed", map[string]any{
+			"entity": res.entity, "attempt": s.retry + 1, "err": res.err.Error(),
+		})
+		s.cfg.Log.Warn("candidate retrain failed", "entity", res.entity,
+			"attempt", s.retry+1, "err", res.err)
+		s.retry++
+		if s.retry > s.cfg.MaxRetries {
+			s.alarm = true
+			s.alarmG.Set(1)
+			s.journal("alarm", map[string]any{"reason": "retrain retries exhausted", "attempts": s.retry})
+			s.cfg.Log.Error("adaptation alarm: retrain retries exhausted; serving continues on current weights",
+				"attempts", s.retry)
+			s.toIdle()
+			return
+		}
+		// Exponential backoff: RetryBackoff × 2^(attempt−1).
+		delay := s.cfg.RetryBackoff << (s.retry - 1)
+		s.setState(StateTraining)
+		s.entity = res.entity
+		s.retryTimer = time.AfterFunc(delay, func() {
+			select {
+			case s.retryCh <- struct{}{}:
+			default:
+			}
+		})
+		return
+	}
+	s.retrainOK.Inc()
+	s.candModel = res.cand
+	s.candEval = res.eval
+	s.entity = res.entity
+	s.inf = s.cfg.Predictor.NewInferencer(res.cand)
+	s.resetScoring()
+	s.setState(StateShadow)
+	s.mirroring.Store(true)
+	s.journal("shadow_start", map[string]any{
+		"entity": res.entity, "need_resolved": s.cfg.MinShadowResolved,
+	})
+	s.cfg.Log.Info("candidate in shadow", "entity", res.entity,
+		"need_resolved", s.cfg.MinShadowResolved)
+}
+
+func (s *Supervisor) resetScoring() {
+	s.pending = map[string]map[int64][]shadowPair{}
+	s.pendingN = 0
+	s.shadowRes = 0
+	s.liveAbs, s.candAbs = 0, 0
+	s.probRes = 0
+	s.probAbs = 0
+}
+
+// onMirror scores one served forecast: in shadow the candidate runs the
+// same prepared input; in probation only the live (new-generation)
+// forecast is tracked against ground truth.
+func (s *Supervisor) onMirror(ev event) {
+	if s.state != StateShadow && s.state != StateProbation {
+		return
+	}
+	var cand []float64
+	if s.state == StateShadow {
+		var err error
+		cand, err = s.inf.Forecast(ev.in)
+		if err != nil {
+			s.cfg.Log.Warn("shadow forecast failed", "err", err)
+			return
+		}
+		s.shadowC.Inc()
+		for _, v := range cand {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// Non-finite shadow output is an instant disqualification.
+				s.journal("discarded", map[string]any{"entity": s.entity, "reason": "non-finite shadow forecast"})
+				s.cfg.Log.Warn("candidate discarded: non-finite shadow forecast")
+				s.toIdle()
+				return
+			}
+		}
+	}
+	byT := s.pending[ev.entity]
+	if byT == nil {
+		byT = map[int64][]shadowPair{}
+		s.pending[ev.entity] = byT
+	}
+	for k, lv := range ev.values {
+		if s.pendingN >= s.cfg.MaxPending {
+			break
+		}
+		pair := shadowPair{live: lv}
+		if cand != nil && k < len(cand) {
+			pair.cand, pair.hasCand = cand[k], true
+		}
+		tt := ev.t + int64(k) + 1
+		byT[tt] = append(byT[tt], pair)
+		s.pendingN++
+	}
+}
+
+// onActuals resolves mirrored pairs against ground truth and applies
+// the shadow/probation verdicts when enough pairs have resolved.
+func (s *Supervisor) onActuals(ev event) {
+	if s.state != StateShadow && s.state != StateProbation {
+		return
+	}
+	byT := s.pending[ev.entity]
+	if byT == nil {
+		return
+	}
+	for i, actual := range ev.values {
+		if math.IsNaN(actual) || math.IsInf(actual, 0) {
+			continue
+		}
+		tt := ev.t + int64(i)
+		pairs, ok := byT[tt]
+		if !ok {
+			continue
+		}
+		delete(byT, tt)
+		s.pendingN -= len(pairs)
+		for _, pr := range pairs {
+			switch s.state {
+			case StateShadow:
+				if !pr.hasCand {
+					continue
+				}
+				s.liveAbs += math.Abs(pr.live - actual)
+				s.candAbs += math.Abs(pr.cand - actual)
+				s.shadowRes++
+			case StateProbation:
+				s.probAbs += math.Abs(pr.live - actual)
+				s.probRes++
+			}
+		}
+	}
+	switch {
+	case s.state == StateShadow && s.shadowRes >= s.cfg.MinShadowResolved:
+		s.decideShadow()
+	case s.state == StateProbation && s.probRes >= s.cfg.ProbationResolved:
+		s.decideProbation()
+	}
+}
+
+// decideShadow applies the promotion gate and either hot-swaps the
+// candidate into serving (entering probation) or discards it.
+func (s *Supervisor) decideShadow() {
+	liveMAE := s.liveAbs / float64(s.shadowRes)
+	candMAE := s.candAbs / float64(s.shadowRes)
+	gate := liveMAE * (1 - s.cfg.PromoteMargin)
+	if candMAE > gate {
+		s.journal("discarded", map[string]any{
+			"entity": s.entity, "live_mae": liveMAE, "cand_mae": candMAE,
+			"resolved": s.shadowRes, "reason": "promotion gate not met",
+		})
+		s.cfg.Log.Info("candidate discarded: promotion gate not met",
+			"live_mae", liveMAE, "cand_mae", candMAE, "resolved", s.shadowRes)
+		s.toIdle()
+		return
+	}
+	prev, prevEval, gen, err := s.cfg.Predictor.SwapModel(s.candModel, s.candEval)
+	if err != nil {
+		s.journal("discarded", map[string]any{"entity": s.entity, "reason": "swap failed: " + err.Error()})
+		s.cfg.Log.Error("hot-swap failed; candidate discarded", "err", err)
+		s.toIdle()
+		return
+	}
+	s.swaps++
+	s.swapsC.Inc()
+	s.lastSwapUnix = s.cfg.Now().Unix()
+	s.cooldownEnd = s.cfg.Now().Add(s.cfg.Cooldown)
+	s.genG.Set(float64(gen))
+	s.alarm = false
+	s.alarmG.Set(0)
+	s.prevModel, s.prevEval = prev, prevEval
+	s.baseMAE = liveMAE
+	s.resetScoring()
+	s.candModel, s.inf = nil, nil
+	s.setState(StateProbation)
+	s.journal("promoted", map[string]any{
+		"entity": s.entity, "generation": gen,
+		"live_mae": liveMAE, "cand_mae": candMAE,
+	})
+	s.cfg.Log.Info("candidate promoted", "generation", gen,
+		"live_mae", liveMAE, "cand_mae", candMAE, "probation_need", s.cfg.ProbationResolved)
+}
+
+// decideProbation keeps the new generation or rolls back to the old.
+func (s *Supervisor) decideProbation() {
+	probMAE := s.probAbs / float64(s.probRes)
+	if probMAE <= s.baseMAE*s.cfg.RollbackFactor {
+		s.journal("probation_pass", map[string]any{
+			"generation": s.cfg.Predictor.Generation(), "mae": probMAE, "baseline_mae": s.baseMAE,
+		})
+		s.cfg.Log.Info("probation passed; promotion is final",
+			"mae", probMAE, "baseline_mae", s.baseMAE)
+		s.toIdle()
+		return
+	}
+	prev, prevEval := s.prevModel, s.prevEval
+	_, _, gen, err := s.cfg.Predictor.SwapModel(prev, prevEval)
+	if err != nil {
+		// Rolling back can only fail if serving was lost entirely;
+		// alarm and keep what we have.
+		s.alarm = true
+		s.alarmG.Set(1)
+		s.journal("alarm", map[string]any{"reason": "rollback failed: " + err.Error()})
+		s.cfg.Log.Error("rollback failed", "err", err)
+		s.toIdle()
+		return
+	}
+	s.rollbacks++
+	s.rollbackC.Inc()
+	s.swaps++
+	s.swapsC.Inc()
+	s.lastSwapUnix = s.cfg.Now().Unix()
+	s.cooldownEnd = s.cfg.Now().Add(s.cfg.Cooldown)
+	s.genG.Set(float64(gen))
+	s.journal("rollback", map[string]any{
+		"generation": gen, "mae": probMAE, "baseline_mae": s.baseMAE,
+	})
+	s.cfg.Log.Warn("post-swap quality regressed; rolled back to previous weights",
+		"generation", gen, "mae", probMAE, "baseline_mae", s.baseMAE)
+	s.toIdle()
+}
+
+// toIdle clears candidate state, prunes candidate artifacts, and
+// persists.
+func (s *Supervisor) toIdle() {
+	s.candModel, s.inf = nil, nil
+	s.candEval = train.Dataset{}
+	s.prevModel, s.prevEval = nil, train.Dataset{}
+	s.resetScoring()
+	s.mirroring.Store(false)
+	if dir := s.cfg.FineTune.Checkpoint.Dir; dir != "" {
+		train.PruneCheckpoints(dir, 0)
+	}
+	s.setState(StateIdle)
+}
+
+func (s *Supervisor) setState(state string) {
+	s.state = state
+	s.stateG.Set(stateCode(state))
+	s.persist()
+}
+
+func (s *Supervisor) journal(kind string, data map[string]any) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	d := map[string]any{"kind": kind}
+	for k, v := range data {
+		d[k] = v
+	}
+	s.cfg.Journal.Log(runlog.TypeAdapt, d)
+}

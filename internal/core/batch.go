@@ -42,24 +42,13 @@ type inferBuf struct {
 // are client errors (bad shape, too little history), distinct from the
 // server-side failures ForecastBatch can hit.
 func (p *Predictor) PrepareInput(series [][]float64) (*PreparedInput, error) {
-	if p.model == nil {
-		return nil, errors.New("core: predictor not fitted")
-	}
-	if len(series) != len(p.norm.Min) {
-		return nil, fmt.Errorf("core: expected %d indicator series, got %d", len(p.norm.Min), len(series))
-	}
-	cleaned := dataprep.Clean(series)
-	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
-		return nil, errors.New("core: no complete records in input")
-	}
-	normed := p.norm.Transform(cleaned)
-	sel := dataprep.Select(normed, p.selected)
-	if p.Cfg.Scenario == MulExp {
-		sel = p.expandForServe(sel)
+	sel, cleanedLen, err := p.prepareServe(series)
+	if err != nil {
+		return nil, err
 	}
 	if len(sel) == 0 || len(sel[0]) < p.Cfg.Window {
 		return nil, fmt.Errorf("core: need at least %d complete samples, have %d",
-			p.MinHistory(), len(cleaned[0]))
+			p.MinHistory(), cleanedLen)
 	}
 	c, n, w := len(sel), len(sel[0]), p.Cfg.Window
 	in := &PreparedInput{data: make([]float64, c*w), channels: c}
@@ -67,6 +56,33 @@ func (p *Predictor) PrepareInput(series [][]float64) (*PreparedInput, error) {
 		copy(in.data[ci*w:(ci+1)*w], sel[ci][n-w:])
 	}
 	return in, nil
+}
+
+// prepareServe runs the stored (frozen-at-fit) data pipeline over raw
+// indicator history: clean, normalize, screen, expand. Shared by
+// PrepareInput (which keeps only the trailing window) and FineTune
+// (which windows the whole prepared series into supervised pairs).
+// Read-only against the predictor, safe for concurrent callers — the
+// fitted check reads p.norm, which is frozen at Fit/load, NOT p.model,
+// which SwapModel rewrites under inferMu (a lock this path must never
+// take).
+func (p *Predictor) prepareServe(series [][]float64) (sel [][]float64, cleanedLen int, err error) {
+	if p.norm == nil {
+		return nil, 0, errors.New("core: predictor not fitted")
+	}
+	if len(series) != len(p.norm.Min) {
+		return nil, 0, fmt.Errorf("core: expected %d indicator series, got %d", len(p.norm.Min), len(series))
+	}
+	cleaned := dataprep.Clean(series)
+	if len(cleaned) == 0 || len(cleaned[0]) == 0 {
+		return nil, 0, errors.New("core: no complete records in input")
+	}
+	normed := p.norm.Transform(cleaned)
+	sel = dataprep.Select(normed, p.selected)
+	if p.Cfg.Scenario == MulExp {
+		sel = p.expandForServe(sel)
+	}
+	return sel, len(cleaned[0]), nil
 }
 
 // expandForServe is the concurrency-safe wrapper around expand for the
@@ -89,16 +105,27 @@ func (p *Predictor) expandForServe(sel [][]float64) [][]float64 {
 // identical to calling ForecastFrom per request at any batch size or
 // worker count.
 func (p *Predictor) ForecastBatch(inputs []*PreparedInput) ([][]float64, error) {
-	if p.model == nil {
-		return nil, errors.New("core: predictor not fitted")
+	res, _, err := p.forecastBatch(inputs)
+	return res, err
+}
+
+// forecastBatch is the shared body of ForecastBatch and
+// ForecastBatchGen: the returned generation is read under the same
+// inferMu hold that computed the forwards, so it attributes every
+// forecast in the batch exactly.
+func (p *Predictor) forecastBatch(inputs []*PreparedInput) ([][]float64, int64, error) {
+	// Fitted check via the frozen pipeline, not p.model — this runs
+	// before inferMu is taken, and SwapModel rewrites p.model under it.
+	if p.norm == nil {
+		return nil, 0, errors.New("core: predictor not fitted")
 	}
 	if len(inputs) == 0 {
-		return nil, nil
+		return nil, p.Generation(), nil
 	}
 	c, w := inputs[0].channels, p.Cfg.Window
 	for i, in := range inputs {
 		if in == nil || in.channels != c || len(in.data) != c*w {
-			return nil, fmt.Errorf("core: batch input %d has inconsistent shape", i)
+			return nil, 0, fmt.Errorf("core: batch input %d has inconsistent shape", i)
 		}
 	}
 	padded := ceilPow2(len(inputs))
@@ -107,7 +134,7 @@ func (p *Predictor) ForecastBatch(inputs []*PreparedInput) ([][]float64, error) 
 	defer p.inferMu.Unlock()
 	if p.f32Active {
 		if res, ok := p.forecastBatch32Locked(inputs, c, w, padded); ok {
-			return res, nil
+			return res, p.generation, nil
 		}
 		// Non-finite f32 output (float32 overflow on an extreme input):
 		// drop the tier and serve this and future batches in f64 — the
@@ -138,7 +165,7 @@ func (p *Predictor) ForecastBatch(inputs []*PreparedInput) ([][]float64, error) 
 	for i := range inputs {
 		res[i] = p.norm.Inverse(p.target, out.Data[i*h:(i+1)*h])
 	}
-	return res, nil
+	return res, p.generation, nil
 }
 
 // ceilPow2 returns the smallest power of two ≥ n.

@@ -76,6 +76,16 @@ func (p *Predictor) EnableFloat32() (Float32Report, error) {
 	}
 	p.inferMu.Lock()
 	defer p.inferMu.Unlock()
+	return p.enableFloat32Locked()
+}
+
+// enableFloat32Locked is EnableFloat32's body under an already-held
+// inferMu — SwapModel calls it directly to re-validate the tier against
+// a freshly promoted model inside the swap's critical section.
+func (p *Predictor) enableFloat32Locked() (Float32Report, error) {
+	if p.test.X == nil {
+		return Float32Report{}, errors.New("core: no held-out test data to validate the float32 tier against")
+	}
 	p.model.Quantize32()
 
 	rep, err := p.validateFloat32Locked()

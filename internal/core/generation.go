@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataprep"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// This file is the online-adaptation surface of the predictor: model
+// generations and the atomic hot-swap. A fitted predictor serves
+// generation 1; the adaptation supervisor (internal/adapt) fine-tunes a
+// *clone* of the serving model off the request path (FineTune), shadow-
+// scores it via a private Inferencer, and promotes it with SwapModel —
+// one short critical section on the same inferMu that serializes
+// ForecastBatch, so a forecast is computed entirely by one generation:
+// torn reads are structurally impossible. The data pipeline (normalizer,
+// screening, expansion layout) is frozen at the original Fit, so
+// PreparedInputs built before a swap stay valid after it and the lock-
+// free PrepareInput path never needs to know a swap happened.
+
+// Generation returns the serving model's generation: 0 before Fit,
+// 1 after Fit or load, +1 per SwapModel (including rollbacks — a
+// rollback is a new generation serving old weights, so response
+// attribution stays unambiguous).
+func (p *Predictor) Generation() int64 {
+	p.inferMu.Lock()
+	defer p.inferMu.Unlock()
+	return p.generation
+}
+
+// Clone returns a deep copy of the model: same architecture, weights
+// copied, fresh layer-RNG streams (seeded deterministically), no shared
+// tensors. The clone is what fine-tuning mutates while the original
+// keeps serving.
+func (m *Model) Clone() *Model {
+	c := NewModel(tensor.NewRNG(0), m.Cfg)
+	src, dst := m.Params(), c.Params()
+	for i, p := range src {
+		dst[i].Value.CopyFrom(p.Value)
+	}
+	return c
+}
+
+// SwapModel atomically replaces the serving model with m and bumps the
+// generation, returning the previous model and held-out split so the
+// caller can roll back by swapping them in again. eval, when non-empty,
+// becomes the new held-out split (used by the f32 re-validation backtest
+// and any later swap's rollback capture). The swap holds inferMu — the
+// same lock every ForecastBatch holds for its whole forward — so no
+// in-flight forecast ever mixes generations. If the float32 tier was
+// active (or configured), it is re-validated against the new model via
+// the EnableFloat32 backtest; a refusal logs and serves f64 — a swap
+// never fails because of the f32 tier.
+func (p *Predictor) SwapModel(m *Model, eval train.Dataset) (prev *Model, prevEval train.Dataset, gen int64, err error) {
+	if m == nil {
+		return nil, train.Dataset{}, 0, errors.New("core: cannot swap in a nil model")
+	}
+	p.inferMu.Lock()
+	defer p.inferMu.Unlock()
+	if p.model == nil {
+		return nil, train.Dataset{}, 0, errors.New("core: predictor not fitted")
+	}
+	if m.Cfg.InChannels != p.model.Cfg.InChannels || m.Cfg.Horizon != p.model.Cfg.Horizon {
+		return nil, train.Dataset{}, 0, fmt.Errorf(
+			"core: swap model shape (in=%d, horizon=%d) does not match serving (in=%d, horizon=%d)",
+			m.Cfg.InChannels, m.Cfg.Horizon, p.model.Cfg.InChannels, p.model.Cfg.Horizon)
+	}
+	prev, prevEval = p.model, p.test
+	p.model = m
+	p.model.Profile(p.Cfg.Profiler)
+	if eval.X != nil {
+		p.test = eval
+	}
+	// The per-size input tensors survive (shape depends only on the
+	// frozen pipeline), but arenas hold the OLD model's intermediate
+	// shapes/quantization — drop everything and let the next batches
+	// rebuild. Steady state re-amortizes within a few requests.
+	p.inferBufs = nil
+	p.inferBufs32 = nil
+	p.generation++
+
+	wantF32 := p.f32Active || p.Cfg.Float32
+	p.f32Active = false
+	if wantF32 {
+		if _, ferr := p.enableFloat32Locked(); ferr != nil {
+			obs.Logger("core").Warn("float32 tier not re-enabled after model swap; serving float64",
+				"generation", p.generation, "err", ferr)
+		}
+	}
+	return prev, prevEval, p.generation, nil
+}
+
+// ForecastBatchGen is ForecastBatch plus attribution: the generation
+// returned is the one that computed every forecast in the batch —
+// reading it under the same inferMu hold as the forward is what makes
+// the pairing tear-free.
+func (p *Predictor) ForecastBatchGen(inputs []*PreparedInput) ([][]float64, int64, error) {
+	return p.forecastBatch(inputs)
+}
+
+// FineTuneConfig tunes a FineTune run. Zero values inherit the
+// predictor's original training hyperparameters, except Epochs which
+// defaults to a quarter of the original budget — adaptation warm-starts
+// from serving weights and converges in far fewer epochs.
+type FineTuneConfig struct {
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Patience     int
+	// Seed drives the shuffle and any layer RNG streams; same seed +
+	// same windows ⇒ bitwise identical candidate.
+	Seed uint64
+	// TrainFrac/ValidFrac split the supervised windows chronologically;
+	// the remainder is returned as the candidate's held-out split.
+	TrainFrac, ValidFrac float64
+	// Checkpoint, when its Dir is set, checkpoints the fine-tune
+	// crash-safely (candidate artifacts; prune with train.PruneCheckpoints).
+	Checkpoint train.CheckpointConfig
+	// Guard defaults to enabled: a diverging fine-tune must roll back
+	// to its best epoch, never hand back NaN weights.
+	Guard train.GuardConfig
+	// Hooks observe the fine-tune (per-epoch metrics/logging).
+	Hooks []train.Hook
+}
+
+// FineTune trains a candidate model on fresh raw history (same
+// indicator layout as Fit) without touching the serving model: the
+// stored pipeline prepares the series, the serving model is cloned, and
+// the clone is fine-tuned from its current weights. Returns the
+// candidate, its held-out split (pass to SwapModel on promotion), and
+// the training history. The serving path is only blocked for the
+// instant it takes to read the current model pointer.
+func (p *Predictor) FineTune(series [][]float64, cfg FineTuneConfig) (*Model, train.Dataset, *train.History, error) {
+	if cfg.Epochs <= 0 {
+		if cfg.Epochs = p.Cfg.Epochs / 4; cfg.Epochs < 1 {
+			cfg.Epochs = 1
+		}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = p.Cfg.BatchSize
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = p.Cfg.LearningRate
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = p.Cfg.Patience
+	}
+	if cfg.TrainFrac == 0 {
+		cfg.TrainFrac = p.Cfg.TrainFrac
+	}
+	if cfg.ValidFrac == 0 {
+		cfg.ValidFrac = p.Cfg.ValidFrac
+	}
+	sel, _, err := p.prepareServe(series)
+	if err != nil {
+		return nil, train.Dataset{}, nil, err
+	}
+	ds, err := dataprep.BuildSupervised(sel, dataprep.WindowConfig{
+		Window:  p.Cfg.Window,
+		Horizon: p.Cfg.Horizon,
+		Target:  0, // the pipeline puts the target channel first
+	})
+	if err != nil {
+		return nil, train.Dataset{}, nil, err
+	}
+	tr, va, te, err := train.Split(ds, cfg.TrainFrac, cfg.ValidFrac)
+	if err != nil {
+		return nil, train.Dataset{}, nil, err
+	}
+
+	p.inferMu.Lock()
+	serving := p.model
+	p.inferMu.Unlock()
+	if serving == nil {
+		return nil, train.Dataset{}, nil, errors.New("core: predictor not fitted")
+	}
+	candidate := serving.Clone()
+	hist := train.FineTune(candidate, tr, va, train.Config{
+		Epochs:      cfg.Epochs,
+		BatchSize:   cfg.BatchSize,
+		Optimizer:   opt.NewAdam(cfg.LearningRate),
+		Loss:        &nn.MSELoss{},
+		Patience:    cfg.Patience,
+		Shuffle:     true,
+		Seed:        cfg.Seed + 1,
+		RestoreBest: true,
+		ClipNorm:    5,
+		Checkpoint:  cfg.Checkpoint,
+		Guard:       cfg.Guard,
+		Hooks:       cfg.Hooks,
+	})
+	for _, prm := range candidate.Params() {
+		for _, v := range prm.Value.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, train.Dataset{}, hist, errors.New("core: fine-tuned candidate has non-finite weights")
+			}
+		}
+	}
+	return candidate, te, hist, nil
+}
+
+// Inferencer runs forecasts against a specific model through the
+// predictor's frozen data pipeline, entirely outside the serving lock —
+// the shadow-evaluation path: the supervisor scores a candidate on
+// mirrored live inputs without ever touching ForecastBatch's arenas or
+// blocking a request. Not synchronized; use from one goroutine.
+type Inferencer struct {
+	p     *Predictor
+	m     *Model
+	arena *nn.InferArena
+	x     *tensor.Tensor
+}
+
+// NewInferencer returns an Inferencer serving m through p's pipeline.
+func (p *Predictor) NewInferencer(m *Model) *Inferencer {
+	return &Inferencer{p: p, m: m, arena: nn.NewInferArena()}
+}
+
+// Forecast runs one prepared window through the inferencer's model and
+// returns the denormalized Horizon-step forecast — bitwise identical to
+// what ForecastBatch would return were this model serving.
+func (inf *Inferencer) Forecast(in *PreparedInput) ([]float64, error) {
+	if in == nil {
+		return nil, errors.New("core: nil prepared input")
+	}
+	c, w := in.channels, inf.p.Cfg.Window
+	if c != inf.m.Cfg.InChannels || len(in.data) != c*w {
+		return nil, fmt.Errorf("core: prepared input shape (%d×%d) does not match model (in=%d)",
+			c, len(in.data)/max(c, 1), inf.m.Cfg.InChannels)
+	}
+	if inf.x == nil {
+		inf.x = tensor.New(1, c, w)
+	}
+	copy(inf.x.Data, in.data)
+	inf.arena.Reset()
+	out := inf.m.InferForward(inf.arena, inf.x)
+	return inf.p.norm.Inverse(inf.p.target, out.Data[:inf.p.Cfg.Horizon]), nil
+}

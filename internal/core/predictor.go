@@ -199,6 +199,10 @@ type Predictor struct {
 	f32Active   bool
 	f32Report   Float32Report
 	inferBufs32 map[int]*inferBuf32
+
+	// generation counts serving models: 1 at Fit/load, +1 per SwapModel
+	// (see generation.go). Guarded by inferMu.
+	generation int64
 }
 
 // NewPredictor returns an unfitted predictor.
@@ -328,6 +332,9 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 		TraceParent: fitSpan,
 		Tracer:      p.Cfg.Tracer,
 	})
+	p.inferMu.Lock()
+	p.generation = 1
+	p.inferMu.Unlock()
 	// The f32 tier is opportunistic: a refusal (error bound or MAE
 	// degradation exceeded) is logged and serving stays on the validated
 	// f64 path — quality gates must never fail a successful fit.
@@ -437,7 +444,13 @@ func (p *Predictor) History() *train.History { return p.history }
 func (p *Predictor) SelectedIndicators() []int { return p.selected }
 
 // Model exposes the underlying network (e.g. for attention inspection).
-func (p *Predictor) Model() *Model { return p.model }
+// Once hot-swapping is in play the pointer is only a snapshot: the
+// serving model may change right after this returns.
+func (p *Predictor) Model() *Model {
+	p.inferMu.Lock()
+	defer p.inferMu.Unlock()
+	return p.model
+}
 
 // NormBounds returns the per-indicator min/max the normalizer was fitted
 // with (copies; nil before Fit). Serving uses them to flag inputs that

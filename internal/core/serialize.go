@@ -106,5 +106,6 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if err := nn.LoadParams(bytes.NewReader(dump.Weights), p.model); err != nil {
 		return nil, err
 	}
+	p.generation = 1
 	return p, nil
 }

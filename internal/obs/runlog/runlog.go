@@ -52,6 +52,10 @@ const (
 	// transitions (kind=level). TypeSLO records SLO rule transitions.
 	TypeDrift = "drift"
 	TypeSLO   = "slo"
+	// TypeAdapt records online-adaptation lifecycle transitions from
+	// internal/adapt: retrain starts/failures, shadow verdicts,
+	// promotions, rollbacks, and alarms (kind=...).
+	TypeAdapt = "adapt"
 )
 
 // Run is an open journal. Log is safe for concurrent use; write errors
@@ -264,6 +268,10 @@ func Summarize(events []Event) string {
 			b.WriteString("\n")
 		case TypeSLO:
 			b.WriteString("slo: ")
+			b.WriteString(flatKV(ev.Data))
+			b.WriteString("\n")
+		case TypeAdapt:
+			b.WriteString("adapt: ")
 			b.WriteString(flatKV(ev.Data))
 			b.WriteString("\n")
 		case TypeFinal:

@@ -83,6 +83,33 @@ type Config struct {
 	Journal *runlog.Run
 	// Log receives transition warnings (default obs.Logger("quality")).
 	Log *slog.Logger
+	// Events, when set, receives every mutation fire and drift state
+	// transition as it happens. The callback runs on the engine's
+	// worker goroutine: it must return quickly and never block (hand
+	// off to a channel or goroutine for anything heavier), or the
+	// quality pipeline stalls behind it.
+	Events func(Event)
+}
+
+// Event is one detector transition published to Config.Events. It is
+// the subscription surface the adaptation supervisor (internal/adapt)
+// hangs off: mutation fires and drift escalations are the triggers for
+// background retraining.
+type Event struct {
+	// Kind is "mutation" (a Page–Hinkley detector fired) or "drift"
+	// (a level detector changed state).
+	Kind string
+	// Signal identifies the watched series: "input" or "residual" for
+	// mutations; "error" or "input" for drift.
+	Signal string
+	// Entity is the entity whose detector fired (mutation events; drift
+	// detectors are global and leave it empty).
+	Entity string
+	// T is the sample time of the triggering observation.
+	T int64
+	// State is the new drift state ("ok"/"warn"/"alarm"); empty for
+	// mutations.
+	State string
 }
 
 func (c *Config) fillDefaults() {
@@ -542,6 +569,9 @@ func (e *Engine) fireMutation(ent *entityState, signal string, t int64, fires *[
 		"kind": "mutation", "signal": signal, "entity": ent.name, "t": t,
 	})
 	e.cfg.Log.Warn("mutation point detected", "signal", signal, "entity", ent.name, "t", t)
+	if e.cfg.Events != nil {
+		e.cfg.Events(Event{Kind: "mutation", Signal: signal, Entity: ent.name, T: t})
+	}
 }
 
 // driftTransition records one drift state change.
@@ -554,6 +584,9 @@ func (e *Engine) driftTransition(signal string, old, now DriftState, d *DriftDet
 	})
 	e.cfg.Log.Warn("drift state change", "signal", signal, "from", old.String(),
 		"state", now.String(), "level", d.Level(), "t", t)
+	if e.cfg.Events != nil {
+		e.cfg.Events(Event{Kind: "drift", Signal: signal, T: t, State: now.String()})
+	}
 }
 
 // evalSLO re-evaluates every rule over the aggregate window and emits

@@ -314,6 +314,60 @@ func TestEngineMutationAndDriftEvents(t *testing.T) {
 	}
 }
 
+// TestEngineEventsSubscription: the Events callback sees the same
+// mutation fire and drift transitions the journal records, in order,
+// with the firing entity attached.
+func TestEngineEventsSubscription(t *testing.T) {
+	var got []Event
+	e := newTestEngine(t, Config{
+		Horizon:    1,
+		Mutation:   MutationConfig{MedianWidth: 5, Warmup: 16, Cooldown: 8},
+		InputDrift: DriftConfig{Baseline: 16, Alpha: 0.5, MinStd: 0.02},
+		Events:     func(ev Event) { got = append(got, ev) }, // worker-goroutine only
+	})
+	dither := func(i int) float64 { return float64(i%2)*2 - 1 }
+	tt := int64(0)
+	for i := 0; i < 64; i++ {
+		e.ObserveInput("m1", tt, 20+dither(i), 0, true)
+		tt++
+	}
+	for i := 0; i < 64; i++ {
+		e.ObserveInput("m1", tt, 60+dither(i), 0.5, true)
+		tt++
+	}
+	e.Flush()
+
+	var mutations, drifts []Event
+	for _, ev := range got {
+		switch ev.Kind {
+		case "mutation":
+			mutations = append(mutations, ev)
+		case "drift":
+			drifts = append(drifts, ev)
+		default:
+			t.Fatalf("unexpected event kind %q", ev.Kind)
+		}
+	}
+	if len(mutations) == 0 {
+		t.Fatal("no mutation event delivered")
+	}
+	m := mutations[0]
+	if m.Signal != "input" || m.Entity != "m1" || m.State != "" {
+		t.Fatalf("mutation event = %+v", m)
+	}
+	if m.T < 64 || m.T > 64+2*5 {
+		t.Fatalf("mutation event at t=%d, want within 2 windows of 64", m.T)
+	}
+	if len(drifts) == 0 || drifts[len(drifts)-1].State != "alarm" {
+		t.Fatalf("drift events = %+v, want a transition ending in alarm", drifts)
+	}
+	for _, d := range drifts {
+		if d.Signal != "input" || d.Entity != "" {
+			t.Fatalf("drift event = %+v", d)
+		}
+	}
+}
+
 // TestEngineMetrics: the registry exposes the engine's gauges and
 // counters, refreshed at scrape time.
 func TestEngineMetrics(t *testing.T) {

@@ -53,9 +53,13 @@ func WithBatching(cfg BatchConfig) Option {
 	return func(s *Server) { s.batchCfg = cfg }
 }
 
-// batchResp is one request's share of a batched forward.
+// batchResp is one request's share of a batched forward. gen is the
+// serving-model generation that produced the forecast, read under the
+// same lock hold as the forward itself — so a response can always be
+// attributed to exactly one set of weights even while hot-swaps land.
 type batchResp struct {
 	forecast []float64
+	gen      int64
 	err      error
 	panicked bool
 }
@@ -201,6 +205,7 @@ func (b *batcher) runBatch(reqs []*batchReq) {
 	}
 	var (
 		out      [][]float64
+		gen      int64
 		err      error
 		panicked bool
 	)
@@ -213,10 +218,10 @@ func (b *batcher) runBatch(reqs []*batchReq) {
 					"batch", len(reqs), "panic", p, "stack", string(debug.Stack()))
 			}
 		}()
-		out, err = b.predictor.ForecastBatch(inputs)
+		out, gen, err = b.predictor.ForecastBatchGen(inputs)
 	}()
 	for i, r := range reqs {
-		resp := batchResp{err: err, panicked: panicked}
+		resp := batchResp{gen: gen, err: err, panicked: panicked}
 		if !panicked && err == nil {
 			resp.forecast = out[i]
 		}

@@ -223,6 +223,10 @@ body{font-family:monospace;margin:2em}li{margin:0.4em 0}</style></head>
 <li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
 <li><a href="/debug/fleet?format=html">/debug/fleet</a> — per-entity sketches, exemplars, trace sampling (<a href="/debug/fleet">json</a>)</li>
 <li><a href="/debug/quality?format=html">/debug/quality</a> — forecast accuracy, drift, SLO (<a href="/debug/quality">json</a>)</li>`)
+	if s.adapt != nil {
+		fmt.Fprint(w, `
+<li><a href="/debug/adapt">/debug/adapt</a> — online adaptation: retrain/shadow/swap state (JSON)</li>`)
+	}
 	if s.tracer != nil {
 		fmt.Fprint(w, `
 <li><a href="/debug/traces">/debug/traces</a> — sampled span journal (JSONL)</li>`)

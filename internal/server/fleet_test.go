@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/obs"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/quality"
@@ -34,6 +35,9 @@ func fleetServer(t testing.TB) (*Server, *httptest.Server, [][]float64) {
 	s := New(p, WithRegistry(reg), WithTracer(tr),
 		WithQualityConfig(quality.Config{Rules: rules}),
 		WithFleetTelemetry(FleetConfig{K: 8}),
+		// Adaptation on, so the rptcn_adapt_* metric family is covered
+		// by the promlint self-check below.
+		WithAdaptation(adapt.Config{}),
 		WithDebugAddr("127.0.0.1:6060"))
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() { ts.Close(); s.Close() })

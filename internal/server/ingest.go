@@ -32,6 +32,11 @@ type IngestConfig struct {
 	// MaxBodyBytes bounds one ingest request's body (default 256 MiB —
 	// usage CSVs are long; the scan is streaming so memory stays flat).
 	MaxBodyBytes int64
+	// MaxEntities caps how many entities hold ring state at once; when a
+	// new entity arrives at the cap, the least-recently-touched ring is
+	// evicted (rptcn_ingest_evicted_entities_total counts them). 0 means
+	// unbounded — the pre-cap behavior.
+	MaxEntities int
 }
 
 func (c *IngestConfig) fillDefaults(p *core.Predictor) {
@@ -139,7 +144,7 @@ func (s *Server) handleEntityForecast(w http.ResponseWriter, r *http.Request) {
 	ft.set(entity, false)
 
 	need := s.predictor.MinHistory()
-	forecast, res := s.guardedInfer(r.Context(), func() inferOutcome {
+	o, res := s.guardedInfer(r.Context(), func() inferOutcome {
 		var in *core.PreparedInput
 		var perr error
 		found := s.rings.WithWindow(entity, need, func(win [][]float64, _, _ int) {
@@ -152,14 +157,16 @@ func (s *Server) handleEntityForecast(w http.ResponseWriter, r *http.Request) {
 			return inferOutcome{err: perr}
 		}
 		resp := s.batcher.submit(in)
-		return inferOutcome{forecast: resp.forecast, err: resp.err, panicked: resp.panicked}
+		return inferOutcome{forecast: resp.forecast, in: in, gen: resp.gen, err: resp.err, panicked: resp.panicked}
 	})
+	forecast := o.forecast
 	switch res.kind {
 	case inferOK:
 		s.writeJSON(w, http.StatusOK, ForecastResponse{
-			Forecast: forecast,
-			Target:   targetName(s.predictor),
-			Horizon:  s.predictor.Cfg.Horizon,
+			Forecast:   forecast,
+			Target:     targetName(s.predictor),
+			Horizon:    s.predictor.Cfg.Horizon,
+			Generation: o.gen,
 		})
 	case inferBadInput:
 		if errors.Is(res.err, errUnknownEntity) {

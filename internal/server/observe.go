@@ -46,6 +46,10 @@ func (s *Server) feedQuality(req *ForecastRequest, forecast []float64, sum input
 			tgt := req.Indicators[idx]
 			if len(tgt) > 0 {
 				s.engine.Observe(req.Entity, t-int64(len(tgt))+1, tgt)
+				if s.adapt != nil {
+					// The same actuals resolve mirrored shadow forecasts.
+					s.adapt.ObserveActuals(req.Entity, t-int64(len(tgt))+1, tgt)
+				}
 			}
 		}
 		s.engine.RecordForecast(req.Entity, t, forecast)
@@ -84,6 +88,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.engine.Observe(req.Entity, req.T0, req.Values)
+	if s.adapt != nil {
+		s.adapt.ObserveActuals(req.Entity, req.T0, req.Values)
+	}
 	// 202: resolution happens asynchronously on the engine worker.
 	s.writeJSON(w, http.StatusAccepted, ObserveResponse{Status: "accepted", Accepted: len(req.Values)})
 }

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/nn"
@@ -98,6 +99,13 @@ type Server struct {
 	ingestSkipped  *obs.Counter
 	ingestRejected *obs.Counter
 	ingestEntities *obs.Gauge
+	ingestEvicted  *obs.Counter
+
+	// Online adaptation: the drift-triggered retrain/shadow/hot-swap
+	// supervisor (nil unless WithAdaptation was given and the ingestion
+	// rings it trains from are enabled).
+	adapt    *adapt.Supervisor
+	adaptCfg *adapt.Config
 
 	// Fleet telemetry: O(K) per-entity sketches behind /debug/fleet
 	// (nil when disabled), the forecast-latency histogram whose bucket
@@ -174,6 +182,58 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// The queue holds at most MaxInFlight requests (the limiter admits no
 	// more), so enqueueing never blocks a request goroutine.
 	s.batcher = newBatcher(p, s.batchCfg, s.resilience.MaxInFlight, s.reg, s.log, s.panics)
+	// Streaming ingestion rings: one fixed-capacity ring per entity,
+	// sized to hold a full input window plus slack. Built before the
+	// quality engine because the adaptation supervisor trains from the
+	// rings AND subscribes to the engine's events.
+	s.ingestCfg.fillDefaults(p)
+	if !s.ingestCfg.Disabled {
+		s.rings = trace.NewBoundedRingStore(s.ingestCfg.RingCapacity, s.ingestCfg.MaxEntities)
+		s.ingestRows = s.reg.Counter("rptcn_ingested_samples_total",
+			"Usable CSV rows accepted by /v1/ingest.")
+		s.ingestSkipped = s.reg.Counter("rptcn_ingest_skipped_rows_total",
+			"Unusable CSV rows dropped by the lenient streaming scanner.")
+		s.ingestRejected = s.reg.Counter("rptcn_ingest_rejected_samples_total",
+			"Parsed samples rejected by the rings (non-advancing timestamps).")
+		s.ingestEntities = s.reg.Gauge("rptcn_ingest_entities",
+			"Entities with ring state from streaming ingestion.")
+		s.ingestEvicted = s.reg.Counter("rptcn_ingest_evicted_entities_total",
+			"Entities LRU-evicted from the ingestion ring store (max-entities cap).")
+		s.reg.RegisterCollector(func() {
+			if d := s.rings.Evicted() - uint64(s.ingestEvicted.Value()); d > 0 {
+				s.ingestEvicted.Add(float64(d))
+			}
+		})
+	}
+	// Online adaptation: fine-tune on drift, shadow-score, hot-swap. The
+	// supervisor subscribes to the quality engine's drift/mutation
+	// events, so it must exist before the engine. Serving never depends
+	// on it: a failed setup degrades to a static model with a warning.
+	if s.adaptCfg != nil {
+		cfg := *s.adaptCfg
+		cfg.Predictor = p
+		cfg.Rings = s.rings
+		if cfg.Registry == nil {
+			cfg.Registry = s.reg
+		}
+		if cfg.Journal == nil {
+			cfg.Journal = s.journal
+		}
+		if s.rings == nil {
+			s.log.Warn("adaptation disabled: streaming ingestion is off, so there is no history to retrain from")
+		} else if sup, err := adapt.New(cfg); err != nil {
+			s.log.Error("adaptation disabled: supervisor failed to start", "err", err)
+		} else {
+			s.adapt = sup
+			userEvents := s.qualityCfg.Events
+			s.qualityCfg.Events = func(ev quality.Event) {
+				sup.OnQualityEvent(ev)
+				if userEvents != nil {
+					userEvents(ev)
+				}
+			}
+		}
+	}
 	// The quality engine closes the forecast→ground-truth loop. Its hot
 	// path is a non-blocking channel send, so serving latency is
 	// unaffected; the worker goroutine owns all state.
@@ -201,20 +261,6 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// into — Histogram is get-or-create by name.
 	s.forecastLat = s.reg.Histogram("rptcn_forecast_latency_seconds",
 		"End-to-end forecast request latency.", nil)
-	// Streaming ingestion rings: one fixed-capacity ring per entity,
-	// sized to hold a full input window plus slack.
-	s.ingestCfg.fillDefaults(p)
-	if !s.ingestCfg.Disabled {
-		s.rings = trace.NewRingStore(s.ingestCfg.RingCapacity)
-		s.ingestRows = s.reg.Counter("rptcn_ingested_samples_total",
-			"Usable CSV rows accepted by /v1/ingest.")
-		s.ingestSkipped = s.reg.Counter("rptcn_ingest_skipped_rows_total",
-			"Unusable CSV rows dropped by the lenient streaming scanner.")
-		s.ingestRejected = s.reg.Counter("rptcn_ingest_rejected_samples_total",
-			"Parsed samples rejected by the rings (non-advancing timestamps).")
-		s.ingestEntities = s.reg.Gauge("rptcn_ingest_entities",
-			"Entities with ring state from streaming ingestion.")
-	}
 	s.unknownSeen = make(map[string]bool)
 	s.unknownPaths = s.reg.Counter("rptcn_http_unknown_paths_total",
 		"Requests for paths the server does not route (404 catch-all).")
@@ -233,6 +279,10 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/forecast", in.wrap("/v1/forecast", s.recovered(s.limited(s.handleForecast))))
 	s.mux.HandleFunc("POST /v1/observe", in.wrap("/v1/observe", s.recovered(s.limited(s.handleObserve))))
 	s.mux.HandleFunc("GET /debug/quality", in.wrap("/debug/quality", s.recovered(s.handleQualityStatus)))
+	if s.adapt != nil {
+		s.mux.HandleFunc("GET /debug/adapt", in.wrap("/debug/adapt", s.recovered(s.handleAdaptStatus)))
+		s.mux.HandleFunc("/debug/adapt", in.wrap("/debug/adapt", methodNotAllowed(http.MethodGet)))
+	}
 	s.mux.HandleFunc("GET /debug/fleet", in.wrap("/debug/fleet", s.recovered(s.handleFleet)))
 	s.mux.HandleFunc("GET /debug", in.wrap("/debug", s.recovered(s.handleDebugIndex)))
 	s.mux.HandleFunc("GET /debug/{$}", in.wrap("/debug", s.recovered(s.handleDebugIndex)))
@@ -304,7 +354,12 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Close() error {
 	s.ready.Store(false)
 	s.batcher.close()
-	return s.engine.Close()
+	err := s.engine.Close()
+	if s.adapt != nil {
+		// After the engine: no more events can arrive once it is down.
+		s.adapt.Close()
+	}
+	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -327,6 +382,13 @@ type ModelInfo struct {
 	// Float32 reports whether forecasts are currently served on the
 	// float32 SIMD tier (see core.Predictor.EnableFloat32).
 	Float32 bool `json:"float32,omitempty"`
+	// Generation counts the weights serving right now: 1 is the original
+	// fit; every online hot-swap (promotion or rollback) increments it.
+	Generation int64 `json:"generation,omitempty"`
+	// Adapt is the online-adaptation supervisor's snapshot (state,
+	// swaps, rollbacks, last swap time) — present only when adaptation
+	// is enabled.
+	Adapt *adapt.Status `json:"adapt,omitempty"`
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
@@ -337,6 +399,11 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		Horizon:      p.Cfg.Horizon,
 		ExpandFactor: p.Cfg.ExpandFactor,
 		Float32:      p.Float32Active(),
+		Generation:   p.Generation(),
+	}
+	if s.adapt != nil {
+		st := s.adapt.Status()
+		info.Adapt = &st
 	}
 	for _, idx := range p.SelectedIndicators() {
 		info.Selected = append(info.Selected, trace.Indicator(idx).String())
@@ -370,6 +437,11 @@ type ForecastResponse struct {
 	Target   string    `json:"target"`
 	Horizon  int       `json:"horizon"`
 	Degraded bool      `json:"degraded,omitempty"`
+	// Generation identifies the serving-model weights that produced
+	// this forecast (1 = the original fit, +1 per online hot-swap,
+	// rollbacks included). 0 on degraded fallbacks, which bypass the
+	// model entirely.
+	Generation int64 `json:"generation,omitempty"`
 }
 
 // maxBodyBytes bounds request bodies (a window of 8 indicators is tiny;
@@ -414,7 +486,8 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	ft := telemetryFrom(r.Context())
 	ft.set(req.Entity, false)
 
-	forecast, res := s.infer(r.Context(), req.Indicators)
+	o, res := s.infer(r.Context(), req.Indicators)
+	forecast := o.forecast
 	switch res.kind {
 	case inferOK:
 		// Online quality monitoring: backtest against the actuals the
@@ -433,10 +506,17 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			return s.predictor.ForecastFrom(h)
 		})
 		s.feedQuality(&req, forecast, sum)
+		// Shadow evaluation: mirror the served forecast (and its exact
+		// prepared input) to the adaptation supervisor. A cheap atomic
+		// no-op unless a candidate is actually being scored.
+		if s.adapt != nil && req.T != nil {
+			s.adapt.MirrorForecast(req.Entity, *req.T, o.in, forecast)
+		}
 		s.writeJSON(w, http.StatusOK, ForecastResponse{
-			Forecast: forecast,
-			Target:   targetName(s.predictor),
-			Horizon:  s.predictor.Cfg.Horizon,
+			Forecast:   forecast,
+			Target:     targetName(s.predictor),
+			Horizon:    s.predictor.Cfg.Horizon,
+			Generation: o.gen,
 		})
 	case inferBadInput:
 		s.writeError(w, http.StatusUnprocessableEntity, res.err.Error())
@@ -492,20 +572,25 @@ type inferResult struct {
 // concurrent requests into one arena forward. Every protection is still
 // per-request: each waiter has its own deadline, its own breaker
 // outcome, and its own degradation decision.
-func (s *Server) infer(ctx context.Context, series [][]float64) ([]float64, inferResult) {
+func (s *Server) infer(ctx context.Context, series [][]float64) (inferOutcome, inferResult) {
 	return s.guardedInfer(ctx, func() inferOutcome {
 		in, err := s.predictor.PrepareInput(series)
 		if err != nil {
 			return inferOutcome{err: err}
 		}
 		resp := s.batcher.submit(in)
-		return inferOutcome{forecast: resp.forecast, err: resp.err, panicked: resp.panicked}
+		return inferOutcome{forecast: resp.forecast, in: in, gen: resp.gen, err: resp.err, panicked: resp.panicked}
 	})
 }
 
-// inferOutcome is one protected inference attempt's result.
+// inferOutcome is one protected inference attempt's result. in and gen
+// ride along for the adaptation supervisor: the prepared input lets the
+// shadow candidate re-run exactly what the live model saw, and the
+// generation attributes the forecast to one set of weights.
 type inferOutcome struct {
 	forecast []float64
+	in       *core.PreparedInput
+	gen      int64
 	err      error
 	panicked bool
 }
@@ -515,9 +600,9 @@ type inferOutcome struct {
 // timeout, client-cancel detection, finite-output validation). run does
 // the actual work — prepare + batched forward for the JSON path, ring
 // window + batched forward for the entity path.
-func (s *Server) guardedInfer(ctx context.Context, run func() inferOutcome) ([]float64, inferResult) {
+func (s *Server) guardedInfer(ctx context.Context, run func() inferOutcome) (inferOutcome, inferResult) {
 	if !s.breaker.allow() {
-		return nil, inferResult{kind: inferDegraded, reason: "breaker_open"}
+		return inferOutcome{}, inferResult{kind: inferDegraded, reason: "breaker_open"}
 	}
 	ch := make(chan inferOutcome, 1)
 	go func() {
@@ -543,27 +628,27 @@ func (s *Server) guardedInfer(ctx context.Context, run func() inferOutcome) ([]f
 		switch {
 		case o.panicked:
 			s.breaker.record(true)
-			return nil, inferResult{kind: inferDegraded, reason: "panic"}
+			return inferOutcome{}, inferResult{kind: inferDegraded, reason: "panic"}
 		case o.err != nil:
 			// ForecastFrom errors are input-validation failures — the
 			// client's problem, not the model's; the breaker stays out.
 			s.breaker.release()
-			return nil, inferResult{kind: inferBadInput, err: o.err}
+			return inferOutcome{}, inferResult{kind: inferBadInput, err: o.err}
 		case !finiteAll(o.forecast):
 			s.breaker.record(true)
-			return nil, inferResult{kind: inferDegraded, reason: "invalid_output"}
+			return inferOutcome{}, inferResult{kind: inferDegraded, reason: "invalid_output"}
 		default:
 			s.breaker.record(false)
-			return o.forecast, inferResult{kind: inferOK}
+			return o, inferResult{kind: inferOK}
 		}
 	case <-timer.C:
 		s.breaker.record(true)
-		return nil, inferResult{kind: inferDegraded, reason: "timeout"}
+		return inferOutcome{}, inferResult{kind: inferDegraded, reason: "timeout"}
 	case <-ctx.Done():
 		// No outcome to record: a disconnect says nothing about model
 		// health, but a half-open probe slot must be handed back.
 		s.breaker.release()
-		return nil, inferResult{kind: inferCanceled}
+		return inferOutcome{}, inferResult{kind: inferCanceled}
 	}
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Ring is a fixed-capacity sliding sample buffer for one entity, built
@@ -109,23 +110,42 @@ func (r *Ring) Window(n int) [][]float64 {
 // the forecaster reads windows via WithWindow. It is safe for concurrent
 // use.
 type RingStore struct {
-	mu       sync.RWMutex
-	capacity int
-	rings    map[string]*ringEntry
-	order    []string
+	mu          sync.RWMutex
+	capacity    int
+	maxEntities int // 0 = unbounded
+	rings       map[string]*ringEntry
+	order       []string
+
+	// seq is a store-wide logical clock; every touch (ingest or window
+	// read) stamps the entity with seq's next value, so the entity with
+	// the smallest stamp is the least recently used. Atomics keep the
+	// hot path allocation-free and outside the store lock.
+	seq     atomic.Uint64
+	evicted atomic.Uint64
 }
 
 type ringEntry struct {
-	mu   sync.Mutex
-	ring *Ring
+	mu    sync.Mutex
+	ring  *Ring
+	touch atomic.Uint64 // last store-wide seq this entity was used at
 }
 
-// NewRingStore creates a store whose rings hold capacity samples each.
+// NewRingStore creates a store whose rings hold capacity samples each,
+// with no bound on the number of entities.
 func NewRingStore(capacity int) *RingStore {
+	return NewBoundedRingStore(capacity, 0)
+}
+
+// NewBoundedRingStore creates a store holding at most maxEntities
+// entities (0 = unbounded). When a new entity would exceed the cap, the
+// least recently used entity — the one whose ring was neither written
+// nor read for the longest — is evicted, so adversarial entity churn
+// cannot grow memory without bound. Evictions are counted (Evicted).
+func NewBoundedRingStore(capacity, maxEntities int) *RingStore {
 	if capacity <= 0 {
 		panic("trace: ring capacity must be positive")
 	}
-	return &RingStore{capacity: capacity, rings: map[string]*ringEntry{}}
+	return &RingStore{capacity: capacity, maxEntities: maxEntities, rings: map[string]*ringEntry{}}
 }
 
 // Ingest routes one sample to its entity's ring, creating the ring on
@@ -142,6 +162,7 @@ func (s *RingStore) Ingest(entity []byte, ts int, vals *[NumIndicators]float64) 
 	if e == nil {
 		e = s.create(string(entity))
 	}
+	e.touch.Store(s.seq.Add(1))
 	e.mu.Lock()
 	ok := e.ring.Append(ts, vals)
 	e.mu.Unlock()
@@ -157,6 +178,7 @@ func (s *RingStore) IngestString(entity string, ts int, vals *[NumIndicators]flo
 	if e == nil {
 		e = s.create(entity)
 	}
+	e.touch.Store(s.seq.Add(1))
 	e.mu.Lock()
 	ok := e.ring.Append(ts, vals)
 	e.mu.Unlock()
@@ -169,11 +191,43 @@ func (s *RingStore) create(id string) *ringEntry {
 	if e := s.rings[id]; e != nil {
 		return e
 	}
+	if s.maxEntities > 0 && len(s.rings) >= s.maxEntities {
+		s.evictOldestLocked()
+	}
 	e := &ringEntry{ring: NewRing(s.capacity)}
 	s.rings[id] = e
 	s.order = append(s.order, id)
 	return e
 }
+
+// evictOldestLocked drops the least recently touched entity. The linear
+// scan is fine: it only runs on entity creation past the cap, never on
+// the per-sample hot path. Callers already using the victim's entry via
+// a prior lookup keep a valid (now orphaned) ring; it is simply no
+// longer reachable.
+func (s *RingStore) evictOldestLocked() {
+	victim := ""
+	var oldest uint64
+	for id, e := range s.rings {
+		if t := e.touch.Load(); victim == "" || t < oldest {
+			victim, oldest = id, t
+		}
+	}
+	if victim == "" {
+		return
+	}
+	delete(s.rings, victim)
+	for i, id := range s.order {
+		if id == victim {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.evicted.Add(1)
+}
+
+// Evicted returns how many entities have been LRU-evicted so far.
+func (s *RingStore) Evicted() uint64 { return s.evicted.Load() }
 
 // Entities returns the entity IDs in first-seen order (copy).
 func (s *RingStore) Entities() []string {
@@ -202,6 +256,7 @@ func (s *RingStore) WithWindow(entity string, n int, fn func(win [][]float64, in
 	if e == nil {
 		return false
 	}
+	e.touch.Store(s.seq.Add(1))
 	e.mu.Lock()
 	fn(e.ring.Window(n), e.ring.Interval(), e.ring.LastTS())
 	e.mu.Unlock()

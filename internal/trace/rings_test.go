@@ -161,6 +161,46 @@ func TestRingStoreConcurrentIngest(t *testing.T) {
 	}
 }
 
+// TestRingStoreLRUEviction: a bounded store evicts the least recently
+// touched entity (reads count as touches) when a new one arrives past
+// the cap, and counts every eviction.
+func TestRingStoreLRUEviction(t *testing.T) {
+	s := NewBoundedRingStore(8, 3)
+	for i, id := range []string{"m_a", "m_b", "m_c"} {
+		s.IngestString(id, 10+i, ringVals(float64(i)))
+	}
+	// Touch m_a (oldest write) via a read: m_b becomes the LRU.
+	if !s.WithWindow("m_a", 1, func([][]float64, int, int) {}) {
+		t.Fatal("m_a missing before eviction")
+	}
+	s.IngestString("m_d", 40, ringVals(4))
+	if s.Len() != 3 {
+		t.Fatalf("entities = %d, want 3 (cap)", s.Len())
+	}
+	if s.WithWindow("m_b", 1, func([][]float64, int, int) {}) {
+		t.Fatal("LRU entity m_b survived past the cap")
+	}
+	for _, id := range []string{"m_a", "m_c", "m_d"} {
+		if !s.WithWindow(id, 1, func([][]float64, int, int) {}) {
+			t.Fatalf("%s evicted, want m_b", id)
+		}
+	}
+	if ids := s.Entities(); len(ids) != 3 || ids[0] != "m_a" || ids[1] != "m_c" || ids[2] != "m_d" {
+		t.Fatalf("order after eviction = %v", ids)
+	}
+	if s.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", s.Evicted())
+	}
+	// A re-appearing evicted entity gets a fresh ring and evicts again.
+	s.IngestString("m_b", 99, ringVals(9))
+	if s.Evicted() != 2 || s.Len() != 3 {
+		t.Fatalf("after churn: evicted=%d len=%d", s.Evicted(), s.Len())
+	}
+	if s.SampleCount("m_b") != 1 {
+		t.Fatalf("re-created entity has %d samples, want fresh ring with 1", s.SampleCount("m_b"))
+	}
+}
+
 // TestRingStoreIngestZeroAlloc pins the hot-path claim: a sample for an
 // already-known entity allocates nothing.
 func TestRingStoreIngestZeroAlloc(t *testing.T) {

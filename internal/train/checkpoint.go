@@ -120,12 +120,29 @@ func saveCheckpoint(dir string, keep int, dump *checkpointDump) error {
 	if err != nil {
 		return err
 	}
+	PruneCheckpoints(dir, keep)
+	return nil
+}
+
+// PruneCheckpoints removes all but the newest keep checkpoint files
+// under dir, returning how many were removed (keep ≤ 0 removes all; a
+// missing dir is a no-op). Fit prunes after every save; the adaptation
+// supervisor also calls this directly to clear candidate-model
+// artifacts left behind by failed or killed retrains, so crash
+// leftovers can never accumulate into a full disk.
+func PruneCheckpoints(dir string, keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
 	files := listCheckpoints(dir)
+	removed := 0
 	for len(files) > keep {
-		os.Remove(files[0])
+		if os.Remove(files[0]) == nil {
+			removed++
+		}
 		files = files[1:]
 	}
-	return nil
+	return removed
 }
 
 // loadCheckpoint reads and validates one checkpoint file.

@@ -202,6 +202,39 @@ func TestCheckpointKeepPrunes(t *testing.T) {
 	}
 }
 
+// TestPruneCheckpoints: the exported pruner removes oldest-first down
+// to keep, clears everything at keep 0, and no-ops on a missing dir —
+// the contract the adaptation supervisor relies on to sweep candidate
+// artifacts at startup.
+func TestPruneCheckpoints(t *testing.T) {
+	d := sineDataset(80)
+	tr, va, _, _ := Split(d, 0.6, 0.2)
+	dir := t.TempDir()
+	cfg := ckptConfig(dir)
+	cfg.Epochs = 5
+	cfg.Checkpoint.Keep = 5
+	Fit(ckptModel(1), tr, va, cfg)
+	if n := len(listCheckpoints(dir)); n != 5 {
+		t.Fatalf("setup: %d checkpoints, want 5", n)
+	}
+	if removed := PruneCheckpoints(dir, 2); removed != 3 {
+		t.Fatalf("removed %d, want 3", removed)
+	}
+	files := listCheckpoints(dir)
+	if len(files) != 2 || filepath.Base(files[1]) != "ckpt-000005.json" {
+		t.Fatalf("after prune: %v, want the 2 newest", files)
+	}
+	if removed := PruneCheckpoints(dir, 0); removed != 2 {
+		t.Fatalf("keep=0 removed %d, want 2", removed)
+	}
+	if n := len(listCheckpoints(dir)); n != 0 {
+		t.Fatalf("%d checkpoints survive keep=0", n)
+	}
+	if removed := PruneCheckpoints(filepath.Join(dir, "nope"), 0); removed != 0 {
+		t.Fatalf("missing dir removed %d", removed)
+	}
+}
+
 // TestCheckpointWriteFailureNonFatal: an injected checkpoint I/O error
 // must not perturb training — the history stays bitwise identical to a
 // run without checkpointing.

@@ -204,6 +204,18 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// FineTune continues training model from its current weights — the
+// warm-start entrypoint for online adaptation: the supervisor clones
+// the serving model and fine-tunes the clone on recently ingested
+// windows. Fit never re-initializes weights, so this is Fit by another
+// name; the separate entrypoint pins warm-starting as a supported
+// contract and marks the intended configuration (few epochs, Guard
+// enabled so a diverging fine-tune restores the best epoch, Checkpoint
+// pointed at a candidate dir so a crash mid-retrain is recoverable).
+func FineTune(model nn.Layer, tr, va Dataset, cfg Config) *History {
+	return Fit(model, tr, va, cfg)
+}
+
 // Fit trains the model on tr, monitoring va for early stopping, and
 // returns the loss history. The returned History is itself the first
 // training Hook; cfg.Hooks fire after it, in order, so a user hook
