@@ -1,0 +1,299 @@
+package main
+
+// The -fleet mode: an end-to-end sharded-serving drill against a
+// running rptcnd, sized for a real fleet (thousands of entities) rather
+// than the -adapt/-telemetry smokes' dozens. It exercises the whole
+// sharded path and exits non-zero on any violation, which makes it the
+// CI shard-smoke gate:
+//
+//  1. Ingest: N synthetic entities stream in as chunked v2018 CSV
+//     bodies through POST /v1/ingest (the zero-copy scanner path).
+//  2. Listing: GET /v1/entities?limit=&after= walks the whole fleet in
+//     bounded pages; the union must be exactly the ingested IDs, each
+//     page sorted.
+//  3. Serving: -concurrency workers issue GET /v1/forecast/{entity}
+//     round-robin across the fleet, optionally alternating every 4th
+//     request through ?model=<name> (the registry path). Every response
+//     must be 200 with a non-empty forecast.
+//  4. Balance: GET /debug/shards must report the expected shard count,
+//     every shard holding entities and having served requests, queues
+//     drained, latency quantiles ordered, and no worse than a 4x
+//     entity imbalance between the fullest and emptiest shard.
+//  5. Bounding: with -extra-entities, a second ingest wave pushes the
+//     fleet past the server's -max-entities cap and the eviction
+//     counter must move — the bounded-RSS contract, observable.
+//
+// The server must be booted with -max-inflight ≥ -concurrency (the
+// drill requires all-200s, so admission shedding would fail it).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+type fleetCfg struct {
+	entities     int
+	requests     int
+	window       int
+	concurrency  int
+	expectShards int
+	extra        int
+	seed         uint64
+	model        string
+}
+
+// ingestSeries posts the series as chunked CSV bodies and returns the
+// server's entity count after the last chunk.
+func ingestSeries(client *http.Client, addr string, series []*trace.EntitySeries, fail func(string, ...any)) int {
+	const chunk = 256
+	entities, rows := 0, 0
+	for lo := 0; lo < len(series); lo += chunk {
+		hi := min(lo+chunk, len(series))
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, series[lo:hi]); err != nil {
+			fail("serialize csv: %v", err)
+		}
+		resp, err := client.Post(addr+"/v1/ingest", "text/csv", &buf)
+		if err != nil {
+			fail("ingest chunk at %d: %v", lo, err)
+		}
+		var ir server.IngestResponse
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			fail("ingest chunk at %d: status %d, decode err %v", lo, resp.StatusCode, err)
+		}
+		if ir.Skipped > 0 {
+			fail("ingest chunk at %d: %d rows skipped", lo, ir.Skipped)
+		}
+		entities = ir.Entities
+		rows += ir.Rows
+	}
+	fmt.Printf("ingested %d rows across %d entities (%d resident)\n", rows, len(series), entities)
+	return entities
+}
+
+// walkEntities pages through GET /v1/entities and returns every listed
+// ID, asserting each page is sorted and the pagination terminates.
+func walkEntities(client *http.Client, addr string, limit int, fail func(string, ...any)) []string {
+	var ids []string
+	after := ""
+	for page := 0; ; page++ {
+		if page > 1_000_000 {
+			fail("entity pagination did not terminate")
+		}
+		url := fmt.Sprintf("%s/v1/entities?limit=%d", addr, limit)
+		if after != "" {
+			url += "&after=" + after
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			fail("list entities: %v", err)
+		}
+		var infos []server.EntityInfo
+		err = json.NewDecoder(resp.Body).Decode(&infos)
+		next := resp.Header.Get("X-Next-After")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			fail("list entities: status %d, decode err %v", resp.StatusCode, err)
+		}
+		for i, info := range infos {
+			if i > 0 && infos[i-1].ID >= info.ID {
+				fail("entity page not strictly ascending: %q then %q", infos[i-1].ID, info.ID)
+			}
+			if info.Samples <= 0 {
+				fail("entity %s listed with %d samples", info.ID, info.Samples)
+			}
+			ids = append(ids, info.ID)
+		}
+		if next == "" {
+			return ids
+		}
+		after = next
+	}
+}
+
+// fetchShards decodes GET /debug/shards.
+func fetchShards(client *http.Client, addr string, fail func(string, ...any)) server.ShardsStatus {
+	resp, err := client.Get(addr + "/debug/shards")
+	if err != nil {
+		fail("fetch /debug/shards: %v", err)
+	}
+	defer resp.Body.Close()
+	var st server.ShardsStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+		fail("/debug/shards: status %d, decode err %v", resp.StatusCode, err)
+	}
+	return st
+}
+
+func runFleet(client *http.Client, addr string, cfg fleetCfg, fail func(string, ...any)) {
+	series := trace.Generate(trace.GeneratorConfig{
+		Entities: cfg.entities, Kind: trace.Container, Samples: cfg.window + 16, Seed: cfg.seed,
+	})
+
+	resident := ingestSeries(client, addr, series, fail)
+	if resident < cfg.entities {
+		fail("only %d of %d entities resident after ingest (cap too small for the drill?)", resident, cfg.entities)
+	}
+
+	// Walk the fleet in pages small enough to force several round trips.
+	limit := cfg.entities/4 + 1
+	listed := walkEntities(client, addr, limit, fail)
+	if len(listed) != cfg.entities {
+		fail("pagination walk listed %d entities, ingested %d", len(listed), cfg.entities)
+	}
+	want := make(map[string]bool, len(series))
+	for _, e := range series {
+		want[e.ID] = true
+	}
+	for _, id := range listed {
+		if !want[id] {
+			fail("listing carries unknown entity %q", id)
+		}
+	}
+
+	// The serving drill: round-robin across the whole fleet from
+	// -concurrency closed-loop clients; every response must be a 200
+	// with a non-empty forecast. With -model, every 4th request serves
+	// through the registry path instead of the shard's own engine.
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		drillErr error
+		durs     = make([][]time.Duration, cfg.concurrency)
+	)
+	report := func(err error) { errOnce.Do(func() { drillErr = err }) }
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			durs[w] = make([]time.Duration, 0, cfg.requests/cfg.concurrency+1)
+			for i := w; i < cfg.requests; i += cfg.concurrency {
+				url := addr + "/v1/forecast/" + series[i%cfg.entities].ID
+				if cfg.model != "" && i%4 == 3 {
+					url += "?model=" + cfg.model
+				}
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					report(fmt.Errorf("forecast %d: %w", i, err))
+					return
+				}
+				var fr server.ForecastResponse
+				err = json.NewDecoder(resp.Body).Decode(&fr)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					report(fmt.Errorf("forecast %d (%s): status %d", i, url, resp.StatusCode))
+					return
+				}
+				if err != nil || len(fr.Forecast) == 0 {
+					report(fmt.Errorf("forecast %d: empty body (decode err %v)", i, err))
+					return
+				}
+				durs[w] = append(durs[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if drillErr != nil {
+		fail("%v", drillErr)
+	}
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	fmt.Printf("served %d forecasts over %d entities at concurrency %d: %.0f req/s, client p50 %s p99 %s\n",
+		cfg.requests, cfg.entities, cfg.concurrency,
+		float64(cfg.requests)/elapsed.Seconds(), q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
+
+	// Shard balance and accounting.
+	st := fetchShards(client, addr, fail)
+	if cfg.expectShards > 0 && st.Shards != cfg.expectShards {
+		fail("serving on %d shards, expected %d", st.Shards, cfg.expectShards)
+	}
+	if len(st.PerShard) != st.Shards {
+		fail("%d per-shard rows for %d shards", len(st.PerShard), st.Shards)
+	}
+	var totalReqs uint64
+	minEnt, maxEnt := series[0].Len()*cfg.entities, 0
+	for _, sh := range st.PerShard {
+		totalReqs += sh.Requests
+		if sh.QueueDepth != 0 {
+			fail("shard %d queue not drained: depth %d", sh.Shard, sh.QueueDepth)
+		}
+		if sh.Entities == 0 {
+			fail("shard %d holds no entities (routing imbalance)", sh.Shard)
+		}
+		if sh.Requests == 0 {
+			fail("shard %d served no requests", sh.Shard)
+		}
+		if sh.Requests > 0 && !(sh.P50Micros <= sh.P99Micros && sh.P99Micros <= sh.MaxMicros) {
+			fail("shard %d latency quantiles not ordered: p50 %.1fus p99 %.1fus max %.1fus",
+				sh.Shard, sh.P50Micros, sh.P99Micros, sh.MaxMicros)
+		}
+		minEnt = min(minEnt, sh.Entities)
+		maxEnt = max(maxEnt, sh.Entities)
+	}
+	if totalReqs < uint64(cfg.requests) {
+		fail("shards account for %d requests, drill sent %d", totalReqs, cfg.requests)
+	}
+	if st.Shards > 1 && maxEnt > 4*minEnt {
+		fail("shard imbalance: fullest holds %d entities, emptiest %d", maxEnt, minEnt)
+	}
+	if cfg.model != "" {
+		if st.ModelCache == nil {
+			fail("-model %s given but /debug/shards reports no model cache", cfg.model)
+		}
+		if st.ModelCache.Hits == 0 {
+			fail("model cache served no hits after %d ?model= requests", cfg.requests/4)
+		}
+	}
+	fmt.Printf("shards OK: %d shards, %d-%d entities each, %d requests, worst p99 %s\n",
+		st.Shards, minEnt, maxEnt, totalReqs, worstP99(st))
+
+	// Bounded-RSS probe: push past the server's entity cap and require
+	// the eviction counter to move (rings are bounded, not hoarded).
+	if cfg.extra > 0 {
+		extraSeries := trace.Generate(trace.GeneratorConfig{
+			Entities: cfg.extra, Kind: trace.Container, Samples: 8, Seed: cfg.seed + 1,
+		})
+		for _, e := range extraSeries {
+			e.ID = "xx_" + e.ID // never collides with the drill fleet
+		}
+		ingestSeries(client, addr, extraSeries, fail)
+		st2 := fetchShards(client, addr, fail)
+		if st2.Evicted <= st.Evicted {
+			fail("eviction counter did not move (%d -> %d) after %d entities over the cap",
+				st.Evicted, st2.Evicted, cfg.extra)
+		}
+		if st2.Entities > st.Entities+cfg.extra {
+			fail("entity count %d grew past %d+%d: cap not enforced", st2.Entities, st.Entities, cfg.extra)
+		}
+		fmt.Printf("bounded rings OK: %d entities resident, %d evicted\n", st2.Entities, st2.Evicted)
+	}
+}
+
+func worstP99(st server.ShardsStatus) time.Duration {
+	var worst float64
+	for _, sh := range st.PerShard {
+		if sh.P99Micros > worst {
+			worst = sh.P99Micros
+		}
+	}
+	return time.Duration(worst * float64(time.Microsecond)).Round(time.Microsecond)
+}

@@ -19,6 +19,7 @@
 // Usage:
 //
 //	fleetreplay -addr http://localhost:8080 -entities 40 -requests 200
+//	fleetreplay -fleet -entities 4096 -requests 12000 -expect-shards 8   # sharded-serving drill (see fleet.go)
 package main
 
 import (
@@ -50,6 +51,12 @@ func main() {
 		samples   = flag.Int("samples", 900, "adapt mode: synthetic series length")
 		mutateAt  = flag.Int("mutate-at", 500, "adapt mode: sample index where the regime mutation is injected")
 		adaptWait = flag.Duration("adapt-wait", 120*time.Second, "adapt mode: how long to wait for a hot-swap before failing")
+
+		fleetMode    = flag.Bool("fleet", false, "drive the sharded-serving drill instead: chunked CSV ingest of the whole fleet, paginated listing, concurrent per-entity forecasts, /debug/shards balance assertions (see fleet.go)")
+		concurrency  = flag.Int("concurrency", 64, "fleet mode: concurrent forecast clients (server needs -max-inflight at least this)")
+		expectShards = flag.Int("expect-shards", 0, "fleet mode: require /debug/shards to report exactly this shard count (0 = any)")
+		modelName    = flag.String("model", "", "fleet mode: serve every 4th forecast through ?model=<name> (the registry path)")
+		extraEnt     = flag.Int("extra-entities", 0, "fleet mode: after the drill, ingest this many throwaway entities to push past the server's -max-entities cap and require evictions")
 	)
 	flag.Parse()
 
@@ -78,6 +85,19 @@ func main() {
 
 	if *adaptMode {
 		runAdapt(client, *addr, *samples, *mutateAt, *window, *seed, *adaptWait, fail)
+		return
+	}
+	if *fleetMode {
+		runFleet(client, *addr, fleetCfg{
+			entities:     *entities,
+			requests:     *requests,
+			window:       *window,
+			concurrency:  *concurrency,
+			expectShards: *expectShards,
+			extra:        *extraEnt,
+			seed:         *seed,
+			model:        *modelName,
+		}, fail)
 		return
 	}
 

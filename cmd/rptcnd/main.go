@@ -8,6 +8,8 @@
 //	rptcnd -synthetic -debug-addr :6060   # pprof + expvar + trace sidecar
 //	rptcnd -synthetic -trace -rundir runs # span traces + JSONL run journal
 //	rptcnd -synthetic -adapt -adapt-dir adapt-state   # drift-adaptive online retraining
+//	rptcnd -synthetic -shards 8 -max-entities 4096    # fleet-scale sharded entity serving
+//	rptcnd -synthetic -registry-dir models -publish base   # versioned registry + ?model= serving
 //
 // Then:
 //
@@ -20,6 +22,7 @@
 //	curl localhost:8080/debug/quality      # live accuracy, drift, and SLO status (add ?format=html)
 //	curl localhost:8080/debug/fleet        # per-entity sketches, exemplars, trace sampling (add ?format=html)
 //	curl localhost:8080/debug/adapt        # online-adaptation state: generation, shadow gates, rollbacks (with -adapt)
+//	curl localhost:8080/debug/shards       # per-shard occupancy, queue depth, latency quantiles, model-cache stats
 //	curl localhost:8080/debug              # index of every diagnostic endpoint
 //	curl localhost:8080/debug/traces      # tail-sampled span journal (with -trace)
 //	go run ./cmd/rptcntop                 # live terminal ops dashboard
@@ -48,6 +51,7 @@ import (
 	"repro/internal/obs/runlog"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/quality"
+	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/train"
@@ -85,6 +89,12 @@ func main() {
 
 		ringCap     = flag.Int("ring-capacity", 0, "samples retained per ingested entity (0 = auto: 2x the model's minimum history, grown to cover -adapt-min-samples)")
 		maxEntities = flag.Int("max-entities", 0, "max entities with ring state; beyond it the least-recently-touched ring is evicted (0 = unbounded)")
+
+		shards      = flag.Int("shards", 1, "entity-serving shard workers; >1 serves each shard on a private model replica (lock-free forwards)")
+		shardQueue  = flag.Int("shard-queue", 0, "pending-forecast queue capacity per shard (0 = 64)")
+		registryDir = flag.String("registry-dir", "", "versioned model registry directory; enables GET /v1/forecast/{entity}?model=<name>")
+		modelCache  = flag.Int("model-cache", 0, "max models resident in the registry's warmed-arena LRU cache (0 = 8)")
+		publish     = flag.String("publish", "", "publish the served predictor into -registry-dir under this name at boot")
 
 		adaptOn      = flag.Bool("adapt", false, "drift-adaptive online retraining: background fine-tune on drift/mutation, shadow-evaluate, hot-swap (needs streaming ingestion for training data)")
 		adaptDir     = flag.String("adapt-dir", "adapt-state", "crash-safe supervisor state and candidate checkpoints live here")
@@ -131,6 +141,13 @@ func main() {
 		f32:         *f32,
 		qualityFast: *qualityFast,
 		ingest:      server.IngestConfig{RingCapacity: *ringCap, MaxEntities: *maxEntities},
+		shard:       server.ShardConfig{Shards: *shards, QueueCap: *shardQueue},
+		registryDir: *registryDir,
+		modelCache:  *modelCache,
+		publish:     *publish,
+	}
+	if scfg.publish != "" && scfg.registryDir == "" {
+		fatal("configure", errors.New("-publish needs -registry-dir"))
 	}
 	if *adaptOn {
 		scfg.adapt = &adapt.Config{
@@ -283,6 +300,10 @@ type serveConfig struct {
 	f32             bool
 	qualityFast     bool
 	ingest          server.IngestConfig
+	shard           server.ShardConfig
+	registryDir     string // "": no model registry
+	modelCache      int
+	publish         string        // publish the served predictor under this name at boot
 	adapt           *adapt.Config // nil: adaptation off
 }
 
@@ -347,8 +368,31 @@ func serve(log *slog.Logger, p *core.Predictor, sc serveConfig) {
 		server.WithQualityConfig(qcfg),
 		server.WithJournal(journal),
 		server.WithIngest(sc.ingest),
+		server.WithSharding(sc.shard),
 		server.WithFleetTelemetry(server.FleetConfig{Disabled: sc.fleetK <= 0, K: sc.fleetK}),
 		server.WithDebugAddr(debugAddr),
+	}
+	if sc.registryDir != "" {
+		store, err := registry.Open(sc.registryDir)
+		if err != nil {
+			log.Error("open model registry", "err", err)
+			os.Exit(1)
+		}
+		if sc.publish != "" {
+			v, err := store.Publish(sc.publish, p)
+			if err != nil {
+				log.Error("publish model", "name", sc.publish, "err", err)
+				os.Exit(1)
+			}
+			log.Info("published serving model", "name", sc.publish, "version", v, "dir", sc.registryDir)
+		}
+		cache := registry.NewCache(store, sc.modelCache)
+		cache.RegisterMetrics(reg)
+		opts = append(opts, server.WithModelRegistry(cache))
+		log.Info("model registry enabled", "dir", sc.registryDir, "models", store.Names())
+	}
+	if sc.shard.Shards > 1 {
+		log.Info("sharded entity serving", "shards", sc.shard.Shards)
 	}
 	if sc.adapt != nil {
 		opts = append(opts, server.WithAdaptation(*sc.adapt))
@@ -387,7 +431,7 @@ func serve(log *slog.Logger, p *core.Predictor, sc serveConfig) {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	endpoints := "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/ingest, GET /v1/forecast/{entity}, GET /v1/entities, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet"
+	endpoints := "GET /healthz, GET /readyz, GET /metrics, GET /v1/model, POST /v1/forecast, POST /v1/ingest, GET /v1/forecast/{entity}, GET /v1/entities, POST /v1/observe, GET /debug (index), GET /debug/quality, GET /debug/fleet, GET /debug/shards"
 	if sc.adapt != nil {
 		endpoints += ", GET /debug/adapt"
 	}

@@ -49,8 +49,9 @@ import (
 type Config struct {
 	// Predictor is the serving predictor to adapt.
 	Predictor *core.Predictor
-	// Rings is the recent-history source candidates train on.
-	Rings *trace.RingStore
+	// Rings is the recent-history source candidates train on — a plain
+	// *trace.RingStore, or the sharded router's delegating view.
+	Rings trace.RingSource
 	// Dir, when set, holds crash-safe supervisor state
 	// (adapt-state.json) and candidate training checkpoints
 	// (candidates/). Empty runs fully in-memory.

@@ -142,14 +142,7 @@ func (p *Predictor) forecastBatch(inputs []*PreparedInput) ([][]float64, int64, 
 		p.f32Active = false
 		obs.Logger("core").Warn("float32 serving tier disabled: non-finite output; falling back to float64")
 	}
-	if p.inferBufs == nil {
-		p.inferBufs = make(map[int]*inferBuf)
-	}
-	buf := p.inferBufs[padded]
-	if buf == nil || buf.x.Dim(1) != c || buf.x.Dim(2) != w {
-		buf = &inferBuf{x: tensor.New(padded, c, w), arena: nn.NewInferArena()}
-		p.inferBufs[padded] = buf
-	}
+	buf := p.inferBufLocked(padded, c, w)
 	x := buf.x
 	for i, in := range inputs {
 		copy(x.Data[i*c*w:(i+1)*c*w], in.data)
@@ -166,6 +159,31 @@ func (p *Predictor) forecastBatch(inputs []*PreparedInput) ([][]float64, int64, 
 		res[i] = p.norm.Inverse(p.target, out.Data[i*h:(i+1)*h])
 	}
 	return res, p.generation, nil
+}
+
+// inferBufLocked returns the pooled warmed buffer for one padded batch
+// size, creating it on first use. Callers hold inferMu. The pool is
+// keyed by padded batch size and survives model hot-swaps and input-
+// shape changes: every arena slot is shape-checked on Get and self-heals
+// if stale, and SwapModel only admits models of identical serving shape,
+// so a swapped-in generation replays the warm arenas without
+// re-recording a single slot (pinned by TestInferBufPoolSurvivesSwap).
+// A shape change — possible only through pipeline changes, never a
+// swap — replaces just the input tensor and lets the arena heal the
+// slots that moved.
+func (p *Predictor) inferBufLocked(padded, c, w int) *inferBuf {
+	if p.inferBufs == nil {
+		p.inferBufs = make(map[int]*inferBuf)
+	}
+	buf := p.inferBufs[padded]
+	if buf == nil {
+		buf = &inferBuf{arena: nn.NewInferArena()}
+		p.inferBufs[padded] = buf
+	}
+	if buf.x == nil || buf.x.Dim(1) != c || buf.x.Dim(2) != w {
+		buf.x = tensor.New(padded, c, w)
+	}
+	return buf
 }
 
 // ceilPow2 returns the smallest power of two ≥ n.

@@ -35,6 +35,16 @@ func (p *Predictor) Generation() int64 {
 	return p.generation
 }
 
+// ModelGen returns the serving model pointer and its generation as one
+// atomic snapshot — both read under a single inferMu hold, so a replica
+// holder (ShardInferencer) can never observe a torn pair across a
+// concurrent SwapModel.
+func (p *Predictor) ModelGen() (*Model, int64) {
+	p.inferMu.Lock()
+	defer p.inferMu.Unlock()
+	return p.model, p.generation
+}
+
 // Clone returns a deep copy of the model: same architecture, weights
 // copied, fresh layer-RNG streams (seeded deterministically), no shared
 // tensors. The clone is what fine-tuning mutates while the original
@@ -78,11 +88,13 @@ func (p *Predictor) SwapModel(m *Model, eval train.Dataset) (prev *Model, prevEv
 	if eval.X != nil {
 		p.test = eval
 	}
-	// The per-size input tensors survive (shape depends only on the
-	// frozen pipeline), but arenas hold the OLD model's intermediate
-	// shapes/quantization — drop everything and let the next batches
-	// rebuild. Steady state re-amortizes within a few requests.
-	p.inferBufs = nil
+	// The f64 buffer pool survives the swap: the shape check above only
+	// admits identical serving shapes, arena slots are shape-checked per
+	// Get, and the kernels carry no per-model state — so the new
+	// generation replays the warm arenas with zero re-recording (pinned
+	// by TestInferBufPoolSurvivesSwap). The f32 pool cannot survive:
+	// enableFloat32Locked re-quantizes the NEW model's weight mirrors,
+	// so its buffers are rebuilt against fresh quantization anyway.
 	p.inferBufs32 = nil
 	p.generation++
 
@@ -94,6 +106,12 @@ func (p *Predictor) SwapModel(m *Model, eval train.Dataset) (prev *Model, prevEv
 				"generation", p.generation, "err", ferr)
 		}
 	}
+	// Publish the new generation to the lock-free mirror LAST, after the
+	// f32 revalidation: shard replicas polling genSeq keep serving the
+	// previous generation through the whole hold and only pay the ModelGen
+	// lock (which waits out the tail of this critical section) once the
+	// swap is genuinely done.
+	p.genSeq.Store(p.generation)
 	return prev, prevEval, p.generation, nil
 }
 

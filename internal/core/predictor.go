@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataprep"
 	"repro/internal/metrics"
@@ -203,6 +204,12 @@ type Predictor struct {
 	// generation counts serving models: 1 at Fit/load, +1 per SwapModel
 	// (see generation.go). Guarded by inferMu.
 	generation int64
+	// genSeq mirrors generation lock-free, published at the END of
+	// SwapModel's critical section: a ShardInferencer polls it per batch
+	// and only pays an inferMu acquisition when it actually moved, so
+	// replicas keep serving the previous generation straight through a
+	// long swap hold (f32 revalidation) instead of convoying on the lock.
+	genSeq atomic.Int64
 }
 
 // NewPredictor returns an unfitted predictor.
@@ -334,6 +341,7 @@ func (p *Predictor) Fit(series [][]float64, target int) error {
 	})
 	p.inferMu.Lock()
 	p.generation = 1
+	p.genSeq.Store(1)
 	p.inferMu.Unlock()
 	// The f32 tier is opportunistic: a refusal (error bound or MAE
 	// degradation exceeded) is logged and serving stays on the validated

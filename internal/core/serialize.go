@@ -107,5 +107,6 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 		return nil, err
 	}
 	p.generation = 1
+	p.genSeq.Store(1)
 	return p, nil
 }

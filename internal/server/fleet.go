@@ -227,6 +227,10 @@ body{font-family:monospace;margin:2em}li{margin:0.4em 0}</style></head>
 		fmt.Fprint(w, `
 <li><a href="/debug/adapt">/debug/adapt</a> — online adaptation: retrain/shadow/swap state (JSON)</li>`)
 	}
+	if s.rings != nil {
+		fmt.Fprint(w, `
+<li><a href="/debug/shards">/debug/shards</a> — per-shard occupancy, queues, latency quantiles (JSON)</li>`)
+	}
 	if s.tracer != nil {
 		fmt.Fprint(w, `
 <li><a href="/debug/traces">/debug/traces</a> — sampled span journal (JSONL)</li>`)

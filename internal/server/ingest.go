@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"slices"
 
 	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -111,8 +114,32 @@ type EntityInfo struct {
 	LastTS  int    `json:"last_ts"`
 }
 
-func (s *Server) handleEntities(w http.ResponseWriter, _ *http.Request) {
-	ids := s.rings.Entities()
+// handleEntities lists entities with ring state, sorted by ID so the
+// listing is deterministic regardless of ingestion or shard order.
+// ?limit=N bounds the page size and ?after=<id> resumes strictly after
+// an ID; a truncated page carries the X-Next-After header, so a client
+// walks a 4000-entity fleet in bounded pages:
+//
+//	GET /v1/entities?limit=500
+//	GET /v1/entities?limit=500&after=<X-Next-After>   ... until the header stops
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
+	limit, after, err := parseListParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ids := s.rings.Entities() // sorted ascending
+	if after != "" {
+		lo, _ := slices.BinarySearch(ids, after)
+		if lo < len(ids) && ids[lo] == after {
+			lo++
+		}
+		ids = ids[lo:]
+	}
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+		w.Header().Set("X-Next-After", ids[len(ids)-1])
+	}
 	out := make([]EntityInfo, 0, len(ids))
 	for _, id := range ids {
 		info := EntityInfo{ID: id}
@@ -129,48 +156,62 @@ func (s *Server) handleEntities(w http.ResponseWriter, _ *http.Request) {
 // state; surfaced as 404 rather than 422.
 var errUnknownEntity = errors.New("server: unknown entity")
 
-// handleEntityForecast serves GET /v1/forecast/{entity} from the
-// entity's ring through the full protection stack and the shared
-// micro-batcher. The ring window is consumed as zero-copy views while
-// holding the entity's lock; only the model-ready PreparedInput outlives
-// the critical section.
+// handleEntityForecast serves GET /v1/forecast/{entity} through the
+// entity's shard: the shard worker reads the ring window as zero-copy
+// views under the entity's lock, fuses concurrent requests for its
+// entities into one forward, and answers — all shard-local, no global
+// inference lock with per-shard replicas. ?model=<name> serves from the
+// named registry model instead of the default engine (requires
+// WithModelRegistry). The full per-request protection stack (breaker,
+// timeout, panic recovery, cancel detection) still wraps the wait.
 func (s *Server) handleEntityForecast(w http.ResponseWriter, r *http.Request) {
 	entity := r.PathValue("entity")
 	if entity == "" {
 		s.writeError(w, http.StatusBadRequest, "empty entity")
 		return
 	}
+	model := r.URL.Query().Get("model")
+	if model != "" && s.modelCache == nil {
+		s.writeError(w, http.StatusNotFound, "no model registry configured")
+		return
+	}
 	ft := telemetryFrom(r.Context())
 	ft.set(entity, false)
 
-	need := s.predictor.MinHistory()
 	o, res := s.guardedInfer(r.Context(), func() inferOutcome {
-		var in *core.PreparedInput
-		var perr error
-		found := s.rings.WithWindow(entity, need, func(win [][]float64, _, _ int) {
-			in, perr = s.predictor.PrepareInput(win)
-		})
-		if !found {
-			return inferOutcome{err: errUnknownEntity}
+		sr := s.rings.Forecast(entity, model)
+		if sr.Panicked {
+			return inferOutcome{panicked: true}
 		}
-		if perr != nil {
-			return inferOutcome{err: perr}
-		}
-		resp := s.batcher.submit(in)
-		return inferOutcome{forecast: resp.forecast, in: in, gen: resp.gen, err: resp.err, panicked: resp.panicked}
+		return inferOutcome{forecast: sr.Forecast, gen: sr.Gen, err: sr.Err}
 	})
 	forecast := o.forecast
 	switch res.kind {
 	case inferOK:
-		s.writeJSON(w, http.StatusOK, ForecastResponse{
+		resp := ForecastResponse{
 			Forecast:   forecast,
 			Target:     targetName(s.predictor),
 			Horizon:    s.predictor.Cfg.Horizon,
 			Generation: o.gen,
-		})
+			Model:      model,
+		}
+		if model != "" {
+			// A named model has its own target/horizon; report what was
+			// actually served rather than the default model's metadata.
+			resp.Target = ""
+			resp.Horizon = len(forecast)
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 	case inferBadInput:
-		if errors.Is(res.err, errUnknownEntity) {
+		switch {
+		case errors.Is(res.err, errUnknownEntity), errors.Is(res.err, shard.ErrUnknownEntity):
 			s.writeError(w, http.StatusNotFound, fmt.Sprintf("entity %q has no ingested samples", entity))
+			return
+		case errors.Is(res.err, registry.ErrUnknownModel):
+			s.writeError(w, http.StatusNotFound, res.err.Error())
+			return
+		case errors.Is(res.err, shard.ErrClosed):
+			s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
 		}
 		s.writeError(w, http.StatusUnprocessableEntity, res.err.Error())

@@ -52,6 +52,8 @@ import (
 	"repro/internal/obs/sketch"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/quality"
+	"repro/internal/registry"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -90,10 +92,13 @@ type Server struct {
 	panics   *obs.Counter
 	canceled *obs.Counter
 
-	// Streaming ingestion: per-entity sample rings fed by /v1/ingest and
-	// read by /v1/forecast/{entity} (nil when disabled), plus its
-	// accounting metrics.
-	rings          *trace.RingStore
+	// Streaming ingestion and sharded entity serving: the entity→shard
+	// router owns the per-entity sample rings (fed by /v1/ingest) and
+	// serves /v1/forecast/{entity} through per-shard micro-batchers (nil
+	// when ingestion is disabled), plus the accounting metrics.
+	rings          *shard.Router
+	shardCfg       ShardConfig
+	modelCache     *registry.Cache
 	ingestCfg      IngestConfig
 	ingestRows     *obs.Counter
 	ingestSkipped  *obs.Counter
@@ -182,13 +187,25 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	// The queue holds at most MaxInFlight requests (the limiter admits no
 	// more), so enqueueing never blocks a request goroutine.
 	s.batcher = newBatcher(p, s.batchCfg, s.resilience.MaxInFlight, s.reg, s.log, s.panics)
-	// Streaming ingestion rings: one fixed-capacity ring per entity,
-	// sized to hold a full input window plus slack. Built before the
+	// Streaming ingestion rings + the entity→shard router: one
+	// fixed-capacity ring per entity (sized to hold a full input window
+	// plus slack), sharded across the router's workers. Built before the
 	// quality engine because the adaptation supervisor trains from the
 	// rings AND subscribes to the engine's events.
 	s.ingestCfg.fillDefaults(p)
+	s.batchCfg.fillDefaults()
 	if !s.ingestCfg.Disabled {
-		s.rings = trace.NewBoundedRingStore(s.ingestCfg.RingCapacity, s.ingestCfg.MaxEntities)
+		rt, err := s.buildRouter()
+		if err != nil {
+			// Unreachable with validated inputs, but never let a config
+			// slip kill JSON-path serving: degrade to ingestion-off.
+			s.log.Error("entity serving disabled: shard router failed to start", "err", err)
+			s.ingestCfg.Disabled = true
+		} else {
+			s.rings = rt
+		}
+	}
+	if !s.ingestCfg.Disabled {
 		s.ingestRows = s.reg.Counter("rptcn_ingested_samples_total",
 			"Usable CSV rows accepted by /v1/ingest.")
 		s.ingestSkipped = s.reg.Counter("rptcn_ingest_skipped_rows_total",
@@ -212,7 +229,11 @@ func New(p *core.Predictor, opts ...Option) *Server {
 	if s.adaptCfg != nil {
 		cfg := *s.adaptCfg
 		cfg.Predictor = p
-		cfg.Rings = s.rings
+		if s.rings != nil {
+			// Guarded: a nil *shard.Router inside the RingSource
+			// interface would defeat adapt's own nil check.
+			cfg.Rings = s.rings
+		}
 		if cfg.Registry == nil {
 			cfg.Registry = s.reg
 		}
@@ -297,8 +318,10 @@ func New(p *core.Predictor, opts ...Option) *Server {
 		s.mux.HandleFunc("GET /v1/entities", in.wrap("/v1/entities", s.recovered(s.limited(s.handleEntities))))
 		s.mux.HandleFunc("GET /v1/forecast/{entity}", in.wrap("/v1/forecast/{entity}",
 			s.recovered(s.limited(s.handleEntityForecast))))
+		s.mux.HandleFunc("GET /debug/shards", in.wrap("/debug/shards", s.recovered(s.handleShards)))
 		s.mux.HandleFunc("/v1/ingest", in.wrap("/v1/ingest", methodNotAllowed(http.MethodPost)))
 		s.mux.HandleFunc("/v1/entities", in.wrap("/v1/entities", methodNotAllowed(http.MethodGet)))
+		s.mux.HandleFunc("/debug/shards", in.wrap("/debug/shards", methodNotAllowed(http.MethodGet)))
 	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	// Method-less fallbacks keep 405 semantics for known paths (a bare
@@ -354,6 +377,9 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Close() error {
 	s.ready.Store(false)
 	s.batcher.close()
+	if s.rings != nil {
+		s.rings.Close()
+	}
 	err := s.engine.Close()
 	if s.adapt != nil {
 		// After the engine: no more events can arrive once it is down.
@@ -442,6 +468,9 @@ type ForecastResponse struct {
 	// rollbacks included). 0 on degraded fallbacks, which bypass the
 	// model entirely.
 	Generation int64 `json:"generation,omitempty"`
+	// Model names the registry model that served this forecast (entity
+	// path with ?model=); empty for the default serving model.
+	Model string `json:"model,omitempty"`
 }
 
 // maxBodyBytes bounds request bodies (a window of 8 indicators is tiny;

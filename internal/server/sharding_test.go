@@ -1,0 +1,260 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// getForecast fetches GET /v1/forecast/{entity}[?model=] and decodes it.
+func getForecast(t *testing.T, url, entity, model string) (ForecastResponse, int) {
+	t.Helper()
+	u := url + "/v1/forecast/" + entity
+	if model != "" {
+		u += "?model=" + model
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ForecastResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// TestShardedServingMatchesSingleShard pins the acceptance contract of
+// sharding: the same fleet served by a 4-shard server (per-shard model
+// replicas) answers exactly what the default 1-shard server (shared
+// predictor — today's path) answers, entity by entity, under concurrent
+// load. Run with -race this also exercises the per-shard single-owner
+// discipline end to end through HTTP.
+func TestShardedServingMatchesSingleShard(t *testing.T) {
+	p, _ := fitted(t)
+	entities := trace.Generate(trace.GeneratorConfig{
+		Entities: 12, Kind: trace.Container, Samples: 80, Seed: 5,
+	})
+
+	single := httptest.NewServer(New(p))
+	defer single.Close()
+	srv := New(p, WithSharding(ShardConfig{Shards: 4}))
+	sharded := httptest.NewServer(srv)
+	defer sharded.Close()
+
+	ingestCSV(t, single.URL, entities)
+	ingestCSV(t, sharded.URL, entities)
+
+	want := make(map[string]ForecastResponse, len(entities))
+	for _, e := range entities {
+		out, code := getForecast(t, single.URL, e.ID, "")
+		if code != http.StatusOK || out.Degraded {
+			t.Fatalf("single-shard forecast %s: code %d, %+v", e.ID, code, out)
+		}
+		want[e.ID] = out
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < len(entities); j++ {
+				e := entities[(i+j)%len(entities)]
+				out, code := getForecast(t, sharded.URL, e.ID, "")
+				if code != http.StatusOK {
+					t.Errorf("sharded forecast %s: code %d", e.ID, code)
+					return
+				}
+				ref := want[e.ID]
+				if len(out.Forecast) != len(ref.Forecast) {
+					t.Errorf("sharded forecast %s: %d steps vs %d", e.ID, len(out.Forecast), len(ref.Forecast))
+					return
+				}
+				for k := range ref.Forecast {
+					if out.Forecast[k] != ref.Forecast[k] {
+						t.Errorf("entity %s step %d: sharded %g != single %g",
+							e.ID, k, out.Forecast[k], ref.Forecast[k])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// /debug/shards reflects the spread: 4 shards, all entities owned,
+	// every request accounted, queues drained.
+	resp, err := http.Get(sharded.URL + "/debug/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ShardsStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("shards status = %+v", st)
+	}
+	if st.Entities != len(entities) {
+		t.Fatalf("status entities = %d, want %d", st.Entities, len(entities))
+	}
+	var served uint64
+	for _, sh := range st.PerShard {
+		served += sh.Requests
+		if sh.QueueDepth != 0 {
+			t.Fatalf("shard %d queue not drained: %+v", sh.Shard, sh)
+		}
+	}
+	if wantServed := uint64(8 * len(entities)); served != wantServed {
+		t.Fatalf("per-shard request total = %d, want %d", served, wantServed)
+	}
+}
+
+// TestEntitiesPagination pins the /v1/entities listing contract: sorted
+// IDs, ?limit= pages with X-Next-After continuation, a full walk
+// recovers the whole fleet exactly once, and a bad limit is a 400.
+func TestEntitiesPagination(t *testing.T) {
+	p, _ := fitted(t)
+	entities := trace.Generate(trace.GeneratorConfig{
+		Entities: 23, Kind: trace.Container, Samples: 10, Seed: 6,
+	})
+	srv := New(p, WithSharding(ShardConfig{Shards: 3}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ingestCSV(t, ts.URL, entities)
+
+	page := func(limit int, after string) ([]EntityInfo, string) {
+		u := fmt.Sprintf("%s/v1/entities?limit=%d", ts.URL, limit)
+		if after != "" {
+			u += "&after=" + after
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("entities page status = %d", resp.StatusCode)
+		}
+		var out []EntityInfo
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out, resp.Header.Get("X-Next-After")
+	}
+
+	var walked []string
+	after := ""
+	pages := 0
+	for {
+		out, next := page(5, after)
+		for _, e := range out {
+			walked = append(walked, e.ID)
+			if e.Samples == 0 {
+				t.Fatalf("entity %s listed with no samples", e.ID)
+			}
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		if len(out) != 5 {
+			t.Fatalf("truncated page has %d entries with continuation set", len(out))
+		}
+		after = next
+	}
+	if pages != 5 {
+		t.Fatalf("walk took %d pages, want 5 (4×5 + 3)", pages)
+	}
+	if len(walked) != len(entities) {
+		t.Fatalf("walk found %d entities, want %d", len(walked), len(entities))
+	}
+	seen := map[string]bool{}
+	for i, id := range walked {
+		if seen[id] {
+			t.Fatalf("entity %s listed twice", id)
+		}
+		seen[id] = true
+		if i > 0 && walked[i-1] >= id {
+			t.Fatalf("listing not sorted: %s before %s", walked[i-1], id)
+		}
+	}
+
+	// Unpaginated listing still returns the whole (sorted) fleet — the
+	// pre-pagination contract.
+	all, next := page(0, "")
+	if len(all) != len(entities) || next != "" {
+		t.Fatalf("limit=0 returned %d entities, continuation %q", len(all), next)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/entities?limit=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestModelRegistryServing pins the multi-model path through HTTP: a
+// published registry model serves via ?model=, the default path is
+// untouched, an unknown model is a 404, and the cache warms (hit on the
+// second request).
+func TestModelRegistryServing(t *testing.T) {
+	p, e := fitted(t)
+	alt, _ := fitted(t) // same fixture → same weights; identity checked via plumbing, not values
+	st, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Publish("alt", alt); err != nil {
+		t.Fatal(err)
+	}
+	cache := registry.NewCache(st, 2)
+	srv := New(p, WithSharding(ShardConfig{Shards: 2}), WithModelRegistry(cache))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ingestCSV(t, ts.URL, []*trace.EntitySeries{e})
+
+	out, code := getForecast(t, ts.URL, e.ID, "alt")
+	if code != http.StatusOK {
+		t.Fatalf("named-model forecast status = %d", code)
+	}
+	if out.Model != "alt" || len(out.Forecast) == 0 {
+		t.Fatalf("named-model response = %+v", out)
+	}
+	if _, code = getForecast(t, ts.URL, e.ID, "alt"); code != http.StatusOK {
+		t.Fatalf("second named-model forecast status = %d", code)
+	}
+	cs := cache.Stats()
+	if cs.Misses != 1 || cs.Hits < 1 {
+		t.Fatalf("cache stats after two requests = %+v (want 1 load, then hits)", cs)
+	}
+
+	if _, code = getForecast(t, ts.URL, e.ID, "ghost"); code != http.StatusNotFound {
+		t.Fatalf("unknown model status = %d, want 404", code)
+	}
+	// Default path unaffected by the registry option.
+	if _, code = getForecast(t, ts.URL, e.ID, ""); code != http.StatusOK {
+		t.Fatalf("default forecast status = %d", code)
+	}
+
+	// Without a registry, naming a model is a 404.
+	bare := httptest.NewServer(New(p))
+	defer bare.Close()
+	ingestCSV(t, bare.URL, []*trace.EntitySeries{e})
+	if _, code = getForecast(t, bare.URL, e.ID, "alt"); code != http.StatusNotFound {
+		t.Fatalf("model param without registry = %d, want 404", code)
+	}
+}

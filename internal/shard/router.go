@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/sketch"
+	"repro/internal/trace"
+)
+
+// Router fans a fleet of entities out across its shards. It implements
+// trace.RingSource (plus the ingest surface of trace.RingStore) by
+// delegating to the per-shard stores, so it drops into the server and
+// the adaptation supervisor wherever a single RingStore used to sit.
+type Router struct {
+	shards []*shard
+	closed chan struct{}
+	once   sync.Once
+}
+
+// New builds the router and starts one worker goroutine per shard.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	depth := make([]*obs.Gauge, cfg.Shards)
+	latency := make([]*obs.Histogram, cfg.Shards)
+	served := make([]*obs.Counter, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		depth[i] = cfg.Registry.Gauge("rptcn_shard_queue_depth",
+			"Forecast requests pending in this shard's queue.", shardLabel(i))
+		latency[i] = cfg.Registry.Histogram("rptcn_shard_latency_seconds",
+			"Shard-local forecast latency, enqueue to answer.", nil, shardLabel(i))
+		served[i] = cfg.Registry.Counter("rptcn_shard_requests_total",
+			"Forecast requests answered by this shard.", shardLabel(i))
+	}
+	// Split the fleet-wide entity cap across shards. Ceil division so
+	// the aggregate cap is never below the configured one; a shard can
+	// hold at most its slice, keeping memory bounded per shard even when
+	// hashing is briefly uneven.
+	perShardMax := 0
+	if cfg.MaxEntities > 0 {
+		perShardMax = (cfg.MaxEntities + cfg.Shards - 1) / cfg.Shards
+	}
+	r := &Router{shards: make([]*shard, cfg.Shards), closed: make(chan struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:       i,
+			engine:   cfg.Engines[i],
+			resolve:  cfg.Resolve,
+			rings:    trace.NewBoundedRingStore(cfg.RingCapacity, perShardMax),
+			log:      cfg.Log,
+			queue:    make(chan *request, cfg.QueueCap),
+			stop:     make(chan struct{}),
+			stopped:  make(chan struct{}),
+			maxBatch: cfg.MaxBatch,
+			maxDelay: cfg.MaxDelay,
+			depth:    depth[i],
+			latency:  latency[i],
+			served:   served[i],
+			digest:   sketch.NewTDigest(64),
+		}
+		r.shards[i] = sh
+		go sh.run()
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// shardOf hashes an entity to its fixed shard: FNV-1a over the raw ID
+// bytes, modulo the shard count. No allocation for either key form.
+func (r *Router) shardOf(entity string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= prime64
+	}
+	return r.shards[h%uint64(len(r.shards))]
+}
+
+func (r *Router) shardOfBytes(entity []byte) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= prime64
+	}
+	return r.shards[h%uint64(len(r.shards))]
+}
+
+// Forecast serves one entity's forecast through its shard's
+// micro-batcher, blocking until it is answered. model == "" uses the
+// shard's default engine; a named model goes through the Resolver.
+func (r *Router) Forecast(entity, model string) Result {
+	select {
+	case <-r.closed:
+		return Result{Err: ErrClosed}
+	default:
+	}
+	return r.shardOf(entity).forecast(entity, model)
+}
+
+// Ingest routes one sample to the owning shard's ring store. Same
+// contract as trace.RingStore.Ingest: zero allocations for a known
+// entity, false when the sample's timestamp does not advance.
+func (r *Router) Ingest(entity []byte, ts int, vals *[trace.NumIndicators]float64) bool {
+	return r.shardOfBytes(entity).rings.Ingest(entity, ts, vals)
+}
+
+// IngestString is Ingest for callers already holding a string ID.
+func (r *Router) IngestString(entity string, ts int, vals *[trace.NumIndicators]float64) bool {
+	return r.shardOf(entity).rings.IngestString(entity, ts, vals)
+}
+
+// WithWindow implements trace.RingSource.
+func (r *Router) WithWindow(entity string, n int, fn func(win [][]float64, interval, lastTS int)) bool {
+	return r.shardOf(entity).rings.WithWindow(entity, n, fn)
+}
+
+// SampleCount implements trace.RingSource.
+func (r *Router) SampleCount(entity string) int {
+	return r.shardOf(entity).rings.SampleCount(entity)
+}
+
+// Entities implements trace.RingSource: the union of every shard's
+// entities, sorted so the result is deterministic regardless of shard
+// count or arrival order.
+func (r *Router) Entities() []string {
+	var out []string
+	for _, sh := range r.shards {
+		out = append(out, sh.rings.Entities()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the fleet-wide entity count.
+func (r *Router) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.rings.Len()
+	}
+	return n
+}
+
+// Evicted returns the fleet-wide LRU eviction count.
+func (r *Router) Evicted() uint64 {
+	var n uint64
+	for _, sh := range r.shards {
+		n += sh.rings.Evicted()
+	}
+	return n
+}
+
+// Status returns every shard's point-in-time accounting, shard order.
+func (r *Router) Status() []Status {
+	out := make([]Status, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.status()
+	}
+	return out
+}
+
+// Close stops the workers and waits for them to drain. Requests in
+// flight or still queued are answered with ErrClosed; Close is
+// idempotent and later Forecast calls fail fast.
+func (r *Router) Close() {
+	r.once.Do(func() {
+		close(r.closed)
+		for _, sh := range r.shards {
+			close(sh.stop)
+		}
+		for _, sh := range r.shards {
+			<-sh.stopped
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+var fixture struct {
+	once   sync.Once
+	p      *core.Predictor
+	alt    *core.Predictor
+	entity *trace.EntitySeries
+	err    error
+}
+
+// fitted returns a shared fitted predictor (plus a second, differently
+// seeded one for multi-model tests) and the entity it trained on.
+func fitted(t testing.TB) (*core.Predictor, *core.Predictor, *trace.EntitySeries) {
+	t.Helper()
+	fixture.once.Do(func() {
+		e := trace.Generate(trace.GeneratorConfig{
+			Entities: 1, Kind: trace.Container, Samples: 500, Seed: 1,
+		})[0]
+		mk := func(seed uint64) (*core.Predictor, error) {
+			p := core.NewPredictor(core.PredictorConfig{
+				Scenario: core.MulExp, Window: 12, Horizon: 3, Epochs: 2, Seed: seed,
+				Model: core.Config{Channels: []int{6, 6}, KernelSize: 3, WeightNorm: true, FCWidth: 8},
+			})
+			if err := p.Fit(e.Matrix(), int(trace.CPUUtilPercent)); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+		fixture.entity = e
+		if fixture.p, fixture.err = mk(2); fixture.err != nil {
+			return
+		}
+		fixture.alt, fixture.err = mk(77)
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.p, fixture.alt, fixture.entity
+}
+
+// feed streams the last `samples` samples of the fixture entity into the
+// router under the given ID.
+func feed(r *Router, e *trace.EntitySeries, id string, samples int) {
+	n := len(e.Metrics[0])
+	if samples > n {
+		samples = n
+	}
+	for i := n - samples; i < n; i++ {
+		var vals [trace.NumIndicators]float64
+		for c := 0; c < trace.NumIndicators; c++ {
+			vals[c] = e.Metrics[c][i]
+		}
+		r.IngestString(id, (i+1)*10, &vals)
+	}
+}
+
+// directForecast computes the forecast the predictor itself would serve
+// for the entity's trailing window (the reference the router must match
+// bitwise).
+func directForecast(t *testing.T, p *core.Predictor, e *trace.EntitySeries) []float64 {
+	t.Helper()
+	need := p.MinHistory()
+	tail := make([][]float64, trace.NumIndicators)
+	for i := range tail {
+		s := e.Metrics[i]
+		tail[i] = s[len(s)-need:]
+	}
+	in, err := p.PrepareInput(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := p.ForecastBatchGen([]*core.PreparedInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out[0]
+}
+
+func newRouter(t *testing.T, p *core.Predictor, shards int, opts ...func(*Config)) *Router {
+	t.Helper()
+	engines := make([]Engine, shards)
+	if shards == 1 {
+		engines[0] = p
+	} else {
+		for i := range engines {
+			engines[i] = p.NewShardInferencer()
+		}
+	}
+	cfg := Config{
+		Shards:       shards,
+		RingCapacity: 2 * p.MinHistory(),
+		Engines:      engines,
+		Registry:     obs.NewRegistry(),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func requireBitwise(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: %g vs %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestOneShardMatchesPredictor pins the degenerate case: a 1-shard
+// router serving on the shared predictor answers bitwise identically to
+// calling the predictor directly — sharding changes routing, never
+// values.
+func TestOneShardMatchesPredictor(t *testing.T) {
+	p, _, e := fitted(t)
+	r := newRouter(t, p, 1)
+	feed(r, e, e.ID, 2*p.MinHistory())
+	res := r.Forecast(e.ID, "")
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Gen != 1 {
+		t.Fatalf("generation = %d, want 1", res.Gen)
+	}
+	requireBitwise(t, "1-shard vs direct", res.Forecast, directForecast(t, p, e))
+}
+
+// TestShardedMatchesOneShard pins replica equivalence at the router
+// level: the same fleet served by 8 replica shards answers bitwise
+// identically to the 1-shard shared-predictor path, entity by entity.
+func TestShardedMatchesOneShard(t *testing.T) {
+	p, _, e := fitted(t)
+	one := newRouter(t, p, 1)
+	many := newRouter(t, p, 8)
+	const entities = 24
+	for i := 0; i < entities; i++ {
+		id := fmt.Sprintf("m_%d", i)
+		feed(one, e, id, 2*p.MinHistory())
+		feed(many, e, id, 2*p.MinHistory())
+	}
+	for i := 0; i < entities; i++ {
+		id := fmt.Sprintf("m_%d", i)
+		a := one.Forecast(id, "")
+		b := many.Forecast(id, "")
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("entity %s: errs %v / %v", id, a.Err, b.Err)
+		}
+		requireBitwise(t, "8-shard vs 1-shard "+id, b.Forecast, a.Forecast)
+	}
+	// The fleet actually spread: every shard owns some entities.
+	sts := many.Status()
+	total := 0
+	for _, st := range sts {
+		total += st.Entities
+	}
+	if total != entities {
+		t.Fatalf("shard entity total = %d, want %d", total, entities)
+	}
+}
+
+// TestRoutingIsStableAndBalanced pins the entity→shard map: the same ID
+// always lands on the same shard (string and byte keys agree), and FNV
+// spreads a large fleet roughly evenly.
+func TestRoutingIsStableAndBalanced(t *testing.T) {
+	p, _, _ := fitted(t)
+	r := newRouter(t, p, 8)
+	var vals [trace.NumIndicators]float64
+	const entities = 4096
+	for i := 0; i < entities; i++ {
+		id := fmt.Sprintf("m_%d", i)
+		if r.shardOf(id) != r.shardOfBytes([]byte(id)) {
+			t.Fatalf("string and byte hashing disagree for %q", id)
+		}
+		r.IngestString(id, 10, &vals)
+	}
+	want := entities / r.Shards()
+	for _, st := range r.Status() {
+		if st.Entities < want/2 || st.Entities > want*2 {
+			t.Fatalf("shard %d holds %d entities, want ~%d (hash imbalance)", st.Shard, st.Entities, want)
+		}
+	}
+}
+
+// TestBoundedEntities pins fleet-wide memory bounding: with a
+// MaxEntities cap the router never holds more rings than the per-shard
+// split allows, and evictions are counted.
+func TestBoundedEntities(t *testing.T) {
+	p, _, _ := fitted(t)
+	r := newRouter(t, p, 4, func(c *Config) { c.MaxEntities = 64 })
+	var vals [trace.NumIndicators]float64
+	const entities = 256
+	for i := 0; i < entities; i++ {
+		r.IngestString(fmt.Sprintf("m_%d", i), 10, &vals)
+	}
+	if n := r.Len(); n > 64 {
+		t.Fatalf("router holds %d entities, cap is 64", n)
+	}
+	if ev := r.Evicted(); ev < entities-64 {
+		t.Fatalf("evicted = %d, want ≥ %d", ev, entities-64)
+	}
+}
+
+// TestResolverServesNamedModels pins the multi-model path: a request
+// naming a model serves through the resolved engine (bitwise matching
+// that model served directly), releases every acquired handle, and an
+// unknown name surfaces the resolver's error without disturbing
+// batch-mates.
+func TestResolverServesNamedModels(t *testing.T) {
+	p, alt, e := fitted(t)
+	errUnknown := errors.New("no such model")
+	var mu sync.Mutex
+	acquired, released := 0, 0
+	resolve := func(model string) (Engine, func(), error) {
+		if model != "alt" {
+			return nil, nil, errUnknown
+		}
+		mu.Lock()
+		acquired++
+		mu.Unlock()
+		return alt, func() { mu.Lock(); released++; mu.Unlock() }, nil
+	}
+	r := newRouter(t, p, 2, func(c *Config) { c.Resolve = resolve })
+	feed(r, e, e.ID, 2*p.MinHistory())
+
+	res := r.Forecast(e.ID, "alt")
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	requireBitwise(t, "named model", res.Forecast, directForecast(t, alt, e))
+	def := r.Forecast(e.ID, "")
+	if def.Err != nil {
+		t.Fatal(def.Err)
+	}
+	requireBitwise(t, "default engine untouched", def.Forecast, directForecast(t, p, e))
+
+	if res := r.Forecast(e.ID, "ghost"); !errors.Is(res.Err, errUnknown) {
+		t.Fatalf("unknown model error = %v", res.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if acquired == 0 || acquired != released {
+		t.Fatalf("handle leak: %d acquired, %d released", acquired, released)
+	}
+}
+
+// TestUnknownEntity pins the routing of a miss: an entity with no ring
+// state answers ErrUnknownEntity, not a panic or a zero forecast.
+func TestUnknownEntity(t *testing.T) {
+	p, _, _ := fitted(t)
+	r := newRouter(t, p, 2)
+	if res := r.Forecast("ghost", ""); !errors.Is(res.Err, ErrUnknownEntity) {
+		t.Fatalf("unknown entity error = %v", res.Err)
+	}
+}
+
+// panicEngine serves MinHistory/PrepareInput through a real predictor
+// but panics on every forward.
+type panicEngine struct{ *core.Predictor }
+
+func (pe panicEngine) ForecastBatchGen([]*core.PreparedInput) ([][]float64, int64, error) {
+	panic("injected engine fault")
+}
+
+// TestEnginePanicIsIsolated pins fault isolation: a panicking resolved
+// engine poisons only its own group — the same batch's default-engine
+// requests still answer normally, and the worker survives.
+func TestEnginePanicIsIsolated(t *testing.T) {
+	p, _, e := fitted(t)
+	resolve := func(string) (Engine, func(), error) { return panicEngine{p}, nil, nil }
+	r := newRouter(t, p, 1, func(c *Config) { c.Resolve = resolve })
+	feed(r, e, e.ID, 2*p.MinHistory())
+
+	if res := r.Forecast(e.ID, "boom"); !res.Panicked {
+		t.Fatalf("panicking engine result = %+v, want Panicked", res)
+	}
+	// The worker is still alive and the default engine unaffected.
+	res := r.Forecast(e.ID, "")
+	if res.Err != nil || res.Panicked {
+		t.Fatalf("post-panic default forecast = %+v", res)
+	}
+	requireBitwise(t, "post-panic", res.Forecast, directForecast(t, p, e))
+}
+
+// TestCloseDrains pins shutdown: Close answers queued requests with
+// ErrClosed, later Forecasts fail fast, and Close is idempotent.
+func TestCloseDrains(t *testing.T) {
+	p, _, e := fitted(t)
+	r := newRouter(t, p, 2)
+	feed(r, e, e.ID, 2*p.MinHistory())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := r.Forecast(e.ID, "")
+			if res.Err != nil && !errors.Is(res.Err, ErrClosed) {
+				t.Errorf("in-flight request got %v", res.Err)
+			}
+		}()
+	}
+	r.Close()
+	wg.Wait()
+	r.Close() // idempotent
+	if res := r.Forecast(e.ID, ""); !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("post-close forecast error = %v", res.Err)
+	}
+}
+
+// TestConcurrentFleetServing hammers a sharded router with concurrent
+// ingest and forecasts across many entities; under -race this pins the
+// single-owner discipline (engines, rings, accounting).
+func TestConcurrentFleetServing(t *testing.T) {
+	p, _, e := fitted(t)
+	r := newRouter(t, p, 4)
+	const entities = 32
+	for i := 0; i < entities; i++ {
+		feed(r, e, fmt.Sprintf("m_%d", i), 2*p.MinHistory())
+	}
+	want := directForecast(t, p, e)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 16; it++ {
+				id := fmt.Sprintf("m_%d", (g*16+it)%entities)
+				res := r.Forecast(id, "")
+				if res.Err != nil {
+					t.Errorf("forecast %s: %v", id, res.Err)
+					return
+				}
+				for k := range want {
+					if res.Forecast[k] != want[k] {
+						t.Errorf("forecast %s drifted at step %d", id, k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Concurrent ingest of fresh entities while forecasts run.
+	var vals [trace.NumIndicators]float64
+	for i := 0; i < 200; i++ {
+		r.IngestString(fmt.Sprintf("fresh_%d", i), 10, &vals)
+	}
+	wg.Wait()
+	sts := r.Status()
+	var served uint64
+	for _, st := range sts {
+		served += st.Requests
+	}
+	if served != 8*16 {
+		t.Fatalf("shards served %d requests, want %d", served, 8*16)
+	}
+}

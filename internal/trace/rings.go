@@ -105,6 +105,22 @@ func (r *Ring) Window(n int) [][]float64 {
 	return r.views
 }
 
+// RingSource is the read surface consumers of ring history need —
+// recent windows, entity enumeration, sample counts — without caring
+// how the rings are laid out. *RingStore implements it directly; the
+// sharded fleet router (internal/shard.Router) implements it by
+// delegating to its per-shard stores, so consumers like the adaptation
+// supervisor work unchanged whether serving is sharded or not.
+type RingSource interface {
+	// WithWindow runs fn with zero-copy views of the entity's most
+	// recent n samples; see RingStore.WithWindow for the aliasing rules.
+	WithWindow(entity string, n int, fn func(win [][]float64, interval, lastTS int)) bool
+	// Entities returns the known entity IDs (a copy, safe to retain).
+	Entities() []string
+	// SampleCount returns how many samples the entity currently holds.
+	SampleCount(entity string) int
+}
+
 // RingStore holds one Ring per entity and is the bridge between
 // streaming ingestion and serving: ScanCSV's callback feeds Ingest, and
 // the forecaster reads windows via WithWindow. It is safe for concurrent
